@@ -1,0 +1,67 @@
+// Command qcheck regenerates the paper's figures and verifies every
+// codified shape claim (see internal/report). It exits non-zero when
+// any claim fails — the repository's reproduction regression gate.
+//
+//	qcheck                 # full scale (5 runs × 20 s, slow)
+//	qcheck -quick          # 1 run × 4 s, coarse sweep (~1 min)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bufqos/internal/experiment"
+	"bufqos/internal/report"
+	"bufqos/internal/units"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced-scale sweep for fast feedback")
+		runs     = flag.Int("runs", 0, "override replication count")
+		duration = flag.Float64("duration", 0, "override simulated seconds")
+	)
+	flag.Parse()
+
+	var opts experiment.RunOpts
+	if *quick {
+		opts = experiment.RunOpts{
+			Runs:        1,
+			Duration:    6,
+			Warmup:      0.6,
+			BaseSeed:    5,
+			BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(1), units.MegaBytes(2)},
+			Headrooms:   []units.Bytes{0, units.KiloBytes(150), units.KiloBytes(300)},
+			Headroom:    units.KiloBytes(500),
+			Fig7Buffer:  units.KiloBytes(250),
+		}
+	} else {
+		// Full scale, but a small-buffer fig7 so the headroom effect is
+		// on-scale (see EXPERIMENTS.md).
+		opts = experiment.RunOpts{Fig7Buffer: units.KiloBytes(300)}
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *duration > 0 {
+		opts.Duration = *duration
+		opts.Warmup = *duration / 10
+	}
+
+	results, err := report.Run(opts, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qcheck: %v\n", err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	fmt.Printf("\n%d checks, %d failed\n", len(results), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+// Command qsim regenerates the paper's simulation figures.
+//
+// Usage:
+//
+//	qsim -fig fig1            # one figure, text table to stdout
+//	qsim -fig all -csv out/   # everything, CSVs into out/
+//	qsim -fig fig4 -runs 3 -duration 10
+//
+// Each figure sweeps the total buffer size (or, for fig7, the headroom)
+// across the schemes the paper compares, averaging over independent
+// replications and reporting 95% confidence half-widths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bufqos/internal/experiment"
+	"bufqos/internal/units"
+)
+
+func main() {
+	var (
+		figFlag  = flag.String("fig", "all", "figure id (fig1..fig13), comma list, or 'all'")
+		runs     = flag.Int("runs", 5, "independent replications per point")
+		duration = flag.Float64("duration", 20, "simulated seconds per run")
+		warmup   = flag.Float64("warmup", 2, "discarded warm-up seconds")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		headroom = flag.Float64("headroom", 2, "sharing headroom H in MB")
+		buffers  = flag.String("buffers", "", "comma-separated buffer sizes in KB (default 500..5000 step 500)")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+		fig7buf  = flag.Float64("fig7buffer", 1, "fixed buffer for the fig7 headroom sweep, MB")
+		workload = flag.String("workload", "", "JSON workload file: run a custom buffer sweep instead of the paper figures")
+		schemes  = flag.String("schemes", "FIFO+thresholds,WFQ+thresholds,FIFO", "schemes for -workload sweeps (comma list of names)")
+	)
+	flag.Parse()
+
+	opts := experiment.RunOpts{
+		Runs:       *runs,
+		Duration:   *duration,
+		Warmup:     *warmup,
+		BaseSeed:   *seed,
+		Headroom:   units.MegaBytes(*headroom),
+		Fig7Buffer: units.MegaBytes(*fig7buf),
+	}
+	if *buffers != "" {
+		for _, part := range strings.Split(*buffers, ",") {
+			var kb float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &kb); err != nil {
+				fatalf("bad -buffers entry %q: %v", part, err)
+			}
+			opts.BufferSizes = append(opts.BufferSizes, units.KiloBytes(kb))
+		}
+	}
+
+	if *workload != "" {
+		runWorkloadSweep(*workload, *schemes, opts, *csvDir)
+		return
+	}
+
+	var ids []string
+	if *figFlag == "all" {
+		ids = experiment.FigureIDs()
+	} else {
+		for _, id := range strings.Split(*figFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiment.Figures[id]; !ok {
+				fatalf("unknown figure %q; known: %s", id, strings.Join(experiment.FigureIDs(), " "))
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("creating %s: %v", *csvDir, err)
+		}
+	}
+
+	for _, id := range ids {
+		fig, err := experiment.Figures[id](opts)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		if err := experiment.WriteTable(os.Stdout, fig); err != nil {
+			fatalf("writing table: %v", err)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, fig.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("creating %s: %v", path, err)
+			}
+			if err := experiment.WriteCSV(f, fig); err != nil {
+				f.Close()
+				fatalf("writing %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+// runWorkloadSweep loads a JSON workload and runs the fig1/fig2-style
+// buffer sweep over the requested schemes.
+func runWorkloadSweep(path, schemeList string, opts experiment.RunOpts, csvDir string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("opening workload: %v", err)
+	}
+	w, err := experiment.ParseWorkload(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var schemes []experiment.Scheme
+	for _, name := range strings.Split(schemeList, ",") {
+		s, err := experiment.SchemeByName(strings.TrimSpace(name))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		schemes = append(schemes, s)
+	}
+	util, loss, err := experiment.SweepWorkload(w, schemes, opts)
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	for _, fig := range []experiment.Figure{util, loss} {
+		if err := experiment.WriteTable(os.Stdout, fig); err != nil {
+			fatalf("writing table: %v", err)
+		}
+		fmt.Println()
+		if csvDir != "" {
+			path := filepath.Join(csvDir, fig.ID+".csv")
+			out, err := os.Create(path)
+			if err != nil {
+				fatalf("creating %s: %v", path, err)
+			}
+			if err := experiment.WriteCSV(out, fig); err != nil {
+				out.Close()
+				fatalf("writing %s: %v", path, err)
+			}
+			out.Close()
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qsim: "+format+"\n", args...)
+	os.Exit(1)
+}

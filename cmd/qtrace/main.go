@@ -1,0 +1,138 @@
+// Command qtrace runs a single Table 1 scenario and emits time series
+// of the simulation's internal state — per-flow buffer occupancy and,
+// for the sharing scheme, the holes/headroom pool levels — as CSV.
+// It makes the §2 dynamics (a greedy flow pinned at its threshold, a
+// conformant flow's occupancy converging from below) and the §3.3 pool
+// mechanics directly visible.
+//
+//	qtrace -scheme sharing -buffer 1 -headroom 0.25 > trace.csv
+//	qtrace -scheme threshold -example1 > example1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/core"
+	"bufqos/internal/experiment"
+	"bufqos/internal/sched"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/trace"
+	"bufqos/internal/units"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "threshold", "buffer manager: threshold or sharing")
+		bufferMB = flag.Float64("buffer", 1, "total buffer in MB")
+		headMB   = flag.Float64("headroom", 0.25, "sharing headroom in MB")
+		duration = flag.Float64("duration", 5, "simulated seconds")
+		interval = flag.Float64("interval", 0.005, "sample interval in seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		example1 = flag.Bool("example1", false, "trace the Example 1 scenario (CBR vs feedback-greedy) instead of Table 1")
+	)
+	flag.Parse()
+
+	s := sim.New()
+	linkRate := experiment.DefaultLinkRate
+	bufSize := units.MegaBytes(*bufferMB)
+
+	var mgr buffer.Manager
+	var labels []string
+	var probe func() []float64
+
+	if *example1 {
+		// Two flows: conformant CBR at 8 Mb/s vs the greedy adversary.
+		rho := units.MbitsPerSecond(8)
+		th := core.PeakRateThreshold(rho, linkRate, bufSize)
+		fixed := buffer.NewFixedThreshold(bufSize, []units.Bytes{th + 500, bufSize - th - 500})
+		mgr = fixed
+		link := sched.NewLink(s, linkRate, sched.NewFIFO(), mgr, nil)
+		g := source.NewFeedbackGreedy(s, 1, 500, mgr, link)
+		link.OnDepart = g.DepartureHook()
+		g.Kick()
+		src := source.NewCBR(s, 0, 500, rho, link)
+		src.Start()
+		labels = []string{"q_conformant", "q_greedy", "threshold_conformant"}
+		probe = func() []float64 {
+			return []float64{
+				float64(mgr.Occupancy(0)),
+				float64(mgr.Occupancy(1)),
+				float64(th),
+			}
+		}
+	} else {
+		flows := experiment.Table1Flows()
+		specs := experiment.Specs(flows)
+		th, err := core.Thresholds(specs, linkRate, bufSize)
+		if err != nil {
+			fatalf("thresholds: %v", err)
+		}
+		switch *scheme {
+		case "threshold":
+			mgr = buffer.NewFixedThreshold(bufSize, th)
+			labels = occupancyLabels(len(flows))
+			probe = occupancyProbe(mgr, len(flows), nil)
+		case "sharing":
+			sh := buffer.NewSharing(bufSize, th, units.MegaBytes(*headMB))
+			mgr = sh
+			labels = append(occupancyLabels(len(flows)), "holes", "headroom")
+			probe = occupancyProbe(mgr, len(flows), func() []float64 {
+				return []float64{float64(sh.Holes()), float64(sh.Headroom())}
+			})
+		default:
+			fatalf("unknown scheme %q (threshold or sharing)", *scheme)
+		}
+		link := sched.NewLink(s, linkRate, sched.NewFIFO(), mgr, nil)
+		for i, f := range flows {
+			rng := sim.NewRand(sim.DeriveSeed(*seed, i))
+			var sink source.Sink = link
+			if f.Regulated() {
+				sink = source.NewShaper(s, f.Spec, link)
+			} else {
+				sink = source.NewMeter(s, f.Spec, link)
+			}
+			src := source.NewOnOff(s, rng, source.OnOffConfig{
+				Flow: i, PacketSize: experiment.DefaultPacketSize,
+				PeakRate: f.Spec.PeakRate, AvgRate: f.AvgRate, MeanBurst: f.MeanBurst,
+			}, sink)
+			src.Start()
+		}
+	}
+
+	sa := trace.NewSampler(s, *interval, labels, probe)
+	sa.Start()
+	s.RunUntil(*duration)
+	if err := sa.WriteCSV(os.Stdout); err != nil {
+		fatalf("writing csv: %v", err)
+	}
+}
+
+func occupancyLabels(n int) []string {
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("q%d", i)
+	}
+	return labels
+}
+
+func occupancyProbe(mgr buffer.Manager, n int, extra func() []float64) func() []float64 {
+	return func() []float64 {
+		row := make([]float64, 0, n+2)
+		for i := 0; i < n; i++ {
+			row = append(row, float64(mgr.Occupancy(i)))
+		}
+		if extra != nil {
+			row = append(row, extra()...)
+		}
+		return row
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+// Package bufqos reproduces "Scalable QoS Provision Through Buffer
+// Management" (Guérin, Kamat, Peris, Rajan — SIGCOMM 1998): rate
+// guarantees for flows multiplexed into a FIFO queue using only O(1)
+// per-packet buffer management, the buffer-sharing extension, and the
+// hybrid k-queue architecture.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core      — thresholds, admission regions, hybrid allocation
+//   - internal/buffer    — tail-drop, fixed thresholds, sharing, DT, RED
+//   - internal/sched     — FIFO, exact-virtual-time WFQ, hybrid, link server
+//   - internal/source    — ON-OFF sources, leaky-bucket shaper, meter
+//   - internal/fluid     — fluid-model verification of Propositions 1-2
+//   - internal/experiment — Table 1/2 workloads and Figures 1-13 runners
+//   - internal/sim, units, packet, stats — substrate
+//
+// Executables: cmd/qsim (regenerate every figure), cmd/qosplan
+// (closed-form analysis). Runnable walkthroughs are in examples/.
+// The benchmarks in bench_test.go regenerate each table and figure at
+// reduced scale; see EXPERIMENTS.md for paper-vs-measured results.
+package bufqos

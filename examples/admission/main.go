@@ -1,0 +1,74 @@
+// Admission control: the §2.3 schedulability regions in action.
+//
+// A stream of flow requests (video-conference-sized reservations)
+// arrives at a 48 Mb/s link. Two controllers with the same buffer
+// decide admission: one for a WFQ scheduler (eqs. 5-6) and one for the
+// FIFO + buffer-management scheme (eqs. 7-8). The FIFO region is
+// buffer-limited earlier — equation (10)'s 1/(1-u) inflation — which is
+// the price of O(1) scheduling; the example shows exactly where each
+// controller stops admitting and why.
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"bufqos/internal/core"
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+func main() {
+	linkRate := units.MbitsPerSecond(48)
+	bufSize := units.MegaBytes(2)
+
+	wfq := core.NewAdmissionController(core.DisciplineWFQ, linkRate, bufSize)
+	fifo := core.NewAdmissionController(core.DisciplineFIFO, linkRate, bufSize)
+
+	request := packet.FlowSpec{
+		TokenRate:  units.MbitsPerSecond(2),
+		BucketSize: units.KiloBytes(60),
+		PeakRate:   units.MbitsPerSecond(16),
+	}
+	fmt.Printf("link %v, buffer %v; each request reserves (σ=%v, ρ=%v)\n\n",
+		linkRate, bufSize, request.BucketSize, request.TokenRate)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "request\tu after\tWFQ (eqs. 5-6)\tFIFO+BM (eqs. 7-8)")
+	for i := 1; i <= 24; i++ {
+		wres := wfq.Admit(request)
+		fres := fifo.Admit(request)
+		u := float64(i) * request.TokenRate.BitsPerSecond() / linkRate.BitsPerSecond()
+		fmt.Fprintf(tw, "%d\t%.3f\t%v\t%v\n", i, u, wres, fres)
+		if wres != core.Accepted && fres != core.Accepted {
+			break
+		}
+	}
+	tw.Flush()
+
+	fmt.Printf("\nadmitted: WFQ %d flows (u = %.2f), FIFO+BM %d flows (u = %.2f)\n",
+		wfq.NumFlows(), wfq.Utilization(), fifo.NumFlows(), fifo.Utilization())
+
+	// Show the knob the paper highlights: more buffer buys FIFO+BM
+	// admission capacity (bandwidth is eventually the binding limit).
+	fmt.Println("\nFIFO+BM admitted flows as the buffer grows (same request mix):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "buffer\tadmitted\tfinal u\tlimit")
+	for _, mb := range []float64{0.5, 1, 2, 4, 8, 16} {
+		c := core.NewAdmissionController(core.DisciplineFIFO, linkRate, units.MegaBytes(mb))
+		last := core.Accepted
+		for {
+			if r := c.Admit(request); r != core.Accepted {
+				last = r
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%v\t%d\t%.2f\t%v\n", units.MegaBytes(mb), c.NumFlows(), c.Utilization(), last)
+	}
+	tw.Flush()
+	fmt.Println("\nPast the bandwidth bound (u -> 1) extra buffer buys nothing — the")
+	fmt.Println("1/(1-u) blow-up of equation (10) is the scheme's fundamental trade.")
+}

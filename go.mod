@@ -1,0 +1,3 @@
+module bufqos
+
+go 1.22

@@ -1,0 +1,121 @@
+package buffer
+
+import (
+	"fmt"
+
+	"bufqos/internal/units"
+)
+
+// AdaptiveSharing implements the bandwidth-sharing variant sketched in
+// the paper's conclusion (§5): "allowing adaptive flows to share
+// buffers with reserved flows, while non-adaptive ones would be
+// prevented from doing so ... without entirely shutting off
+// non-adaptive flows from accessing idle resources."
+//
+// The pools work exactly as in Sharing (holes + headroom with the same
+// departure rule). The difference is above-threshold borrowing:
+//
+//   - adaptive flows (e.g. TCP-like, which respond to loss) may grow
+//     their excess up to the full remaining holes, as in Sharing;
+//   - non-adaptive flows may only grow their excess up to
+//     NonAdaptiveFraction of the remaining holes.
+//
+// With NonAdaptiveFraction = 1 the scheme degenerates to Sharing; with
+// 0 non-adaptive flows are fully locked out of idle buffer space.
+type AdaptiveSharing struct {
+	accounting
+	thresholds []units.Bytes
+	adaptive   []bool
+	frac       float64
+	maxHead    units.Bytes
+	headroom   units.Bytes
+	holes      units.Bytes
+}
+
+// NewAdaptiveSharing builds the manager. adaptive[i] marks flow i as
+// loss-responsive; nonAdaptiveFraction ∈ [0, 1] scales how much of the
+// holes non-adaptive flows may claim beyond their reservations.
+func NewAdaptiveSharing(capacity units.Bytes, thresholds []units.Bytes, adaptive []bool,
+	h units.Bytes, nonAdaptiveFraction float64) *AdaptiveSharing {
+	if len(adaptive) != len(thresholds) {
+		panic(fmt.Sprintf("buffer: %d adaptive flags for %d thresholds", len(adaptive), len(thresholds)))
+	}
+	if nonAdaptiveFraction < 0 || nonAdaptiveFraction > 1 {
+		panic(fmt.Sprintf("buffer: non-adaptive fraction %v outside [0,1]", nonAdaptiveFraction))
+	}
+	if h < 0 {
+		panic(fmt.Sprintf("buffer: negative headroom %v", h))
+	}
+	m := &AdaptiveSharing{
+		accounting: newAccounting(capacity, len(thresholds)),
+		thresholds: append([]units.Bytes(nil), thresholds...),
+		adaptive:   append([]bool(nil), adaptive...),
+		frac:       nonAdaptiveFraction,
+		maxHead:    h,
+	}
+	for i, th := range thresholds {
+		if th < 0 {
+			panic(fmt.Sprintf("buffer: negative threshold %v for flow %d", th, i))
+		}
+	}
+	m.headroom = min(capacity, h)
+	m.holes = capacity - m.headroom
+	return m
+}
+
+// Threshold returns flow's reserved share.
+func (m *AdaptiveSharing) Threshold(flow int) units.Bytes { return m.thresholds[flow] }
+
+// Holes returns the shareable free space.
+func (m *AdaptiveSharing) Holes() units.Bytes { return m.holes }
+
+// Headroom returns the protected free pool.
+func (m *AdaptiveSharing) Headroom() units.Bytes { return m.headroom }
+
+// Admit implements Manager.
+func (m *AdaptiveSharing) Admit(flow int, size units.Bytes) bool {
+	if m.occ[flow]+size <= m.thresholds[flow] {
+		if m.holes+m.headroom < size {
+			return false
+		}
+		fromHoles := min(m.holes, size)
+		m.holes -= fromHoles
+		m.headroom -= size - fromHoles
+		m.add(flow, size)
+		return true
+	}
+	if size > m.holes {
+		return false
+	}
+	limit := m.holes
+	if !m.adaptive[flow] {
+		limit = units.Bytes(float64(m.holes) * m.frac)
+	}
+	if m.occ[flow]+size-m.thresholds[flow] > limit {
+		return false
+	}
+	m.holes -= size
+	m.add(flow, size)
+	return true
+}
+
+// Release implements Manager with the §3.3 departure rule.
+func (m *AdaptiveSharing) Release(flow int, size units.Bytes) {
+	m.remove(flow, size)
+	m.headroom += size
+	if m.headroom > m.maxHead {
+		m.holes += m.headroom - m.maxHead
+		m.headroom = m.maxHead
+	}
+}
+
+// checkInvariant mirrors Sharing's space-conservation check for tests.
+func (m *AdaptiveSharing) checkInvariant() error {
+	if m.holes < 0 || m.headroom < 0 {
+		return fmt.Errorf("negative pool: holes=%v headroom=%v", m.holes, m.headroom)
+	}
+	if got := m.holes + m.headroom + m.total; got != m.capacity {
+		return fmt.Errorf("space leak: %v != capacity %v", got, m.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package buffer implements the buffer-management (packet admission)
+// schemes studied in the paper:
+//
+//   - TailDrop: a shared buffer with no per-flow control, the paper's
+//     "no buffer management" baseline (§3.1).
+//   - FixedThreshold: the logical-partitioning scheme of §2 — flow i may
+//     occupy at most its threshold σᵢ + ρᵢ·B/R.
+//   - Sharing: the §3.3 extension that lets active flows borrow unused
+//     buffer space ("holes") while a reserved "headroom" protects flows
+//     that are within their thresholds.
+//   - DynamicThreshold: the Choudhury–Hahne scheme [1] the paper
+//     compares its sharing rule against.
+//   - RED: Random Early Detection, one of the O(1) schemes cited in the
+//     introduction, included as an additional baseline.
+//
+// All managers account occupancy in bytes and make O(1) admission
+// decisions from the flow's own occupancy plus global counters — the
+// property that makes the approach scalable.
+package buffer
+
+import (
+	"fmt"
+
+	"bufqos/internal/units"
+)
+
+// Manager is a packet-admission policy. Admit attempts to admit a
+// packet of the given flow and size: on success it updates the
+// occupancy accounting and returns true; on failure it leaves all state
+// unchanged and returns false. Release must be called exactly once for
+// every admitted packet when it departs.
+type Manager interface {
+	Admit(flow int, size units.Bytes) bool
+	Release(flow int, size units.Bytes)
+	// Occupancy returns the bytes flow currently holds in the buffer.
+	Occupancy(flow int) units.Bytes
+	// Total returns the occupied bytes across all flows.
+	Total() units.Bytes
+	// Capacity returns the total buffer size B.
+	Capacity() units.Bytes
+}
+
+// accounting is the shared occupancy bookkeeping embedded by managers.
+type accounting struct {
+	capacity units.Bytes
+	occ      []units.Bytes
+	total    units.Bytes
+}
+
+func newAccounting(capacity units.Bytes, nflows int) accounting {
+	if capacity < 0 {
+		panic(fmt.Sprintf("buffer: negative capacity %v", capacity))
+	}
+	if nflows <= 0 {
+		panic(fmt.Sprintf("buffer: need at least one flow, got %d", nflows))
+	}
+	return accounting{capacity: capacity, occ: make([]units.Bytes, nflows)}
+}
+
+func (a *accounting) add(flow int, size units.Bytes) {
+	a.occ[flow] += size
+	a.total += size
+}
+
+func (a *accounting) remove(flow int, size units.Bytes) {
+	if a.occ[flow] < size {
+		panic(fmt.Sprintf("buffer: flow %d releasing %v with only %v held", flow, size, a.occ[flow]))
+	}
+	a.occ[flow] -= size
+	a.total -= size
+}
+
+// Occupancy implements Manager.
+func (a *accounting) Occupancy(flow int) units.Bytes { return a.occ[flow] }
+
+// Total implements Manager.
+func (a *accounting) Total() units.Bytes { return a.total }
+
+// Capacity implements Manager.
+func (a *accounting) Capacity() units.Bytes { return a.capacity }
+
+// NumFlows returns the number of flows the manager tracks.
+func (a *accounting) NumFlows() int { return len(a.occ) }
+
+// TailDrop is a shared buffer with no per-flow management: a packet is
+// admitted whenever it fits. This is the classic best-effort router
+// behaviour the paper uses as its first benchmark.
+type TailDrop struct {
+	accounting
+}
+
+// NewTailDrop returns a tail-drop manager over a buffer of the given
+// capacity.
+func NewTailDrop(capacity units.Bytes, nflows int) *TailDrop {
+	return &TailDrop{newAccounting(capacity, nflows)}
+}
+
+// Admit implements Manager.
+func (t *TailDrop) Admit(flow int, size units.Bytes) bool {
+	if t.total+size > t.capacity {
+		return false
+	}
+	t.add(flow, size)
+	return true
+}
+
+// Release implements Manager.
+func (t *TailDrop) Release(flow int, size units.Bytes) { t.remove(flow, size) }
+
+// Unlimited admits everything; it exists for tests and for measuring
+// offered load.
+type Unlimited struct {
+	accounting
+}
+
+// NewUnlimited returns a manager that never drops.
+func NewUnlimited(nflows int) *Unlimited {
+	u := &Unlimited{newAccounting(0, nflows)}
+	u.capacity = units.Bytes(1) << 60
+	return u
+}
+
+// Admit implements Manager.
+func (u *Unlimited) Admit(flow int, size units.Bytes) bool {
+	u.add(flow, size)
+	return true
+}
+
+// Release implements Manager.
+func (u *Unlimited) Release(flow int, size units.Bytes) { u.remove(flow, size) }
+
+// FixedThreshold is the paper's §2 scheme: the buffer is logically
+// partitioned by per-flow occupancy thresholds. A packet of flow i is
+// admitted iff it fits in the buffer and would not raise the flow's
+// occupancy beyond its threshold Bᵢ.
+type FixedThreshold struct {
+	accounting
+	thresholds []units.Bytes
+}
+
+// NewFixedThreshold returns a threshold manager. thresholds[i] is the
+// maximum occupancy allowed for flow i (computed by the core package
+// from the flow's (σᵢ, ρᵢ) profile).
+func NewFixedThreshold(capacity units.Bytes, thresholds []units.Bytes) *FixedThreshold {
+	m := &FixedThreshold{
+		accounting: newAccounting(capacity, len(thresholds)),
+		thresholds: append([]units.Bytes(nil), thresholds...),
+	}
+	for i, th := range thresholds {
+		if th < 0 {
+			panic(fmt.Sprintf("buffer: negative threshold %v for flow %d", th, i))
+		}
+	}
+	return m
+}
+
+// Threshold returns flow's occupancy threshold.
+func (m *FixedThreshold) Threshold(flow int) units.Bytes { return m.thresholds[flow] }
+
+// SetThreshold updates a flow's threshold at run time — used when the
+// flow population changes (admission/departure churn) and thresholds
+// are recomputed. Lowering a threshold below the flow's current
+// occupancy is allowed: the flow simply admits nothing until it drains
+// below the new cap.
+func (m *FixedThreshold) SetThreshold(flow int, v units.Bytes) {
+	if v < 0 {
+		panic(fmt.Sprintf("buffer: negative threshold %v for flow %d", v, flow))
+	}
+	m.thresholds[flow] = v
+}
+
+// Admit implements Manager.
+func (m *FixedThreshold) Admit(flow int, size units.Bytes) bool {
+	if m.total+size > m.capacity {
+		return false
+	}
+	if m.occ[flow]+size > m.thresholds[flow] {
+		return false
+	}
+	m.add(flow, size)
+	return true
+}
+
+// Release implements Manager.
+func (m *FixedThreshold) Release(flow int, size units.Bytes) { m.remove(flow, size) }

@@ -1,0 +1,74 @@
+package buffer
+
+import (
+	"fmt"
+
+	"bufqos/internal/units"
+)
+
+// Partitioned composes per-queue buffer managers for the hybrid
+// architecture of §4: the total buffer is physically split among the k
+// queues (B = ΣBᵢ), and each queue runs its own threshold or sharing
+// manager over its member flows. A flow's admission is decided entirely
+// by its queue's manager.
+type Partitioned struct {
+	queueOf  []int
+	managers []Manager
+}
+
+// NewPartitioned builds a composite manager. queueOf[flow] names the
+// queue of each flow; managers[q] handles queue q. Inner managers are
+// indexed by global flow ID (they simply never see flows of other
+// queues).
+func NewPartitioned(queueOf []int, managers []Manager) *Partitioned {
+	for f, q := range queueOf {
+		if q < 0 || q >= len(managers) {
+			panic(fmt.Sprintf("buffer: flow %d mapped to invalid queue %d", f, q))
+		}
+	}
+	for q, m := range managers {
+		if m == nil {
+			panic(fmt.Sprintf("buffer: nil manager for queue %d", q))
+		}
+	}
+	return &Partitioned{
+		queueOf:  append([]int(nil), queueOf...),
+		managers: managers,
+	}
+}
+
+// Queue returns the manager of queue q, for inspection.
+func (p *Partitioned) Queue(q int) Manager { return p.managers[q] }
+
+// Admit implements Manager.
+func (p *Partitioned) Admit(flow int, size units.Bytes) bool {
+	return p.managers[p.queueOf[flow]].Admit(flow, size)
+}
+
+// Release implements Manager.
+func (p *Partitioned) Release(flow int, size units.Bytes) {
+	p.managers[p.queueOf[flow]].Release(flow, size)
+}
+
+// Occupancy implements Manager.
+func (p *Partitioned) Occupancy(flow int) units.Bytes {
+	return p.managers[p.queueOf[flow]].Occupancy(flow)
+}
+
+// Total implements Manager.
+func (p *Partitioned) Total() units.Bytes {
+	var sum units.Bytes
+	for _, m := range p.managers {
+		sum += m.Total()
+	}
+	return sum
+}
+
+// Capacity implements Manager.
+func (p *Partitioned) Capacity() units.Bytes {
+	var sum units.Bytes
+	for _, m := range p.managers {
+		sum += m.Capacity()
+	}
+	return sum
+}

@@ -1,0 +1,101 @@
+package buffer
+
+import (
+	"testing"
+
+	"bufqos/internal/sim"
+	"bufqos/internal/units"
+)
+
+func newRED() *RED {
+	return NewRED(10000, 2, 2000, 8000, 0.1, sim.NewRand(1))
+}
+
+func TestREDBelowMinThAdmitsEverything(t *testing.T) {
+	m := newRED()
+	// With an empty queue the EWMA stays near 0 < MinTh: no early drops.
+	for i := 0; i < 20; i++ {
+		if !m.Admit(0, 100) {
+			t.Fatal("RED dropped below MinTh")
+		}
+		m.Release(0, 100)
+	}
+}
+
+func TestREDDropsProbabilisticallyInBand(t *testing.T) {
+	m := newRED()
+	m.Weight = 1.0 // make the EWMA track the instantaneous queue for the test
+	// Hold the queue at 5000 bytes, mid-band.
+	for m.Total() < 5000 {
+		m.Admit(0, 500)
+	}
+	drops, tries := 0, 2000
+	for i := 0; i < tries; i++ {
+		if m.Admit(0, 500) {
+			m.Release(0, 500)
+		} else {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Error("no early drops in the RED band")
+	}
+	if drops == tries {
+		t.Error("RED dropped everything mid-band")
+	}
+}
+
+func TestREDForcedDropAboveMaxTh(t *testing.T) {
+	m := newRED()
+	m.Weight = 0 // freeze the EWMA at 0 while filling
+	for m.Total() < 8500 {
+		if !m.Admit(0, 500) {
+			t.Fatal("fill admit failed with frozen EWMA")
+		}
+	}
+	// Now let the EWMA see the 8500-byte queue: avg ≥ MaxTh forces a drop.
+	m.Weight = 1.0
+	if m.Admit(0, 500) {
+		t.Error("RED admitted above MaxTh")
+	}
+}
+
+func TestREDCapacityStillBinds(t *testing.T) {
+	m := NewRED(1000, 1, 400, 800, 0.1, sim.NewRand(2))
+	m.Weight = 0 // EWMA frozen at 0: no early drops ever
+	for m.Admit(0, 100) {
+	}
+	if m.Total() != 1000 {
+		t.Errorf("filled to %v, want capacity 1000", m.Total())
+	}
+}
+
+func TestREDValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewRED(100, 1, 10, 50, 0.1, nil) },
+		func() { NewRED(100, 1, 50, 50, 0.1, sim.NewRand(1)) },
+		func() { NewRED(100, 1, -1, 50, 0.1, sim.NewRand(1)) },
+		func() { NewRED(100, 1, 10, 50, 0, sim.NewRand(1)) },
+		func() { NewRED(100, 1, 10, 50, 1.5, sim.NewRand(1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RED validation case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestREDAverageQueueTracks(t *testing.T) {
+	m := newRED()
+	m.Weight = 0.5
+	m.Admit(0, units.Bytes(1000))
+	m.Admit(0, 1000) // avg updated before add: sees 1000
+	if m.AverageQueue() != 500 {
+		t.Errorf("avg = %v, want 500", m.AverageQueue())
+	}
+}

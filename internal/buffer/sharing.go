@@ -1,0 +1,132 @@
+package buffer
+
+import (
+	"fmt"
+
+	"bufqos/internal/units"
+)
+
+// Sharing implements the buffer-sharing scheme of §3.3. Per-flow
+// reserved thresholds are computed exactly as in the fixed-partition
+// case, but unused buffer space may be borrowed by active flows. Free
+// space is split into two pools:
+//
+//   - headroom: reserved for flows that are below their threshold (and
+//     hence entitled to more buffer room), capped at H;
+//   - holes: the remaining free space, shareable by any flow.
+//
+// Admission follows the paper verbatim. A packet of a flow below its
+// threshold first consumes holes, then headroom, and is dropped only if
+// both are exhausted. A packet of a flow above its threshold is
+// accepted only if it fits in the holes AND the flow's occupancy in
+// excess of its reserved share stays below the remaining holes — "the
+// amount of additional buffer space that a flow can grab cannot exceed
+// the amount of holes that are left."
+//
+// On departure, freed space replenishes the headroom up to H first, and
+// only the overflow returns to the holes (the paper's pseudocode):
+//
+//	headroom += packetlength;
+//	holes    += MAX(headroom - H, 0);
+//	headroom  = MIN(headroom, H);
+type Sharing struct {
+	accounting
+	thresholds []units.Bytes
+	maxHead    units.Bytes // H
+	headroom   units.Bytes
+	holes      units.Bytes
+}
+
+// NewSharing returns a sharing manager with reserved per-flow
+// thresholds and headroom cap H. Initially the whole buffer is free:
+// the headroom pool is filled to min(B, H) and the rest are holes.
+func NewSharing(capacity units.Bytes, thresholds []units.Bytes, h units.Bytes) *Sharing {
+	if h < 0 {
+		panic(fmt.Sprintf("buffer: negative headroom %v", h))
+	}
+	m := &Sharing{
+		accounting: newAccounting(capacity, len(thresholds)),
+		thresholds: append([]units.Bytes(nil), thresholds...),
+		maxHead:    h,
+	}
+	for i, th := range thresholds {
+		if th < 0 {
+			panic(fmt.Sprintf("buffer: negative threshold %v for flow %d", th, i))
+		}
+	}
+	m.headroom = min(capacity, h)
+	m.holes = capacity - m.headroom
+	return m
+}
+
+// Threshold returns flow's reserved share.
+func (m *Sharing) Threshold(flow int) units.Bytes { return m.thresholds[flow] }
+
+// Headroom returns the current headroom pool size.
+func (m *Sharing) Headroom() units.Bytes { return m.headroom }
+
+// Holes returns the current shareable free space.
+func (m *Sharing) Holes() units.Bytes { return m.holes }
+
+// MaxHeadroom returns the configured cap H.
+func (m *Sharing) MaxHeadroom() units.Bytes { return m.maxHead }
+
+// Admit implements Manager.
+func (m *Sharing) Admit(flow int, size units.Bytes) bool {
+	if m.occ[flow]+size <= m.thresholds[flow] {
+		// Below threshold: entitled to space. Holes first, then the
+		// reserved headroom.
+		if m.holes+m.headroom < size {
+			return false
+		}
+		fromHoles := min(m.holes, size)
+		m.holes -= fromHoles
+		m.headroom -= size - fromHoles
+		m.add(flow, size)
+		return true
+	}
+	// Above threshold: only holes, and the flow's excess occupancy must
+	// not outgrow what is left.
+	if size > m.holes {
+		return false
+	}
+	if m.occ[flow]+size-m.thresholds[flow] > m.holes {
+		return false
+	}
+	m.holes -= size
+	m.add(flow, size)
+	return true
+}
+
+// Release implements Manager, applying the paper's departure update.
+func (m *Sharing) Release(flow int, size units.Bytes) {
+	m.remove(flow, size)
+	m.headroom += size
+	if m.headroom > m.maxHead {
+		m.holes += m.headroom - m.maxHead
+		m.headroom = m.maxHead
+	}
+}
+
+// checkInvariant verifies holes + headroom + occupancy == capacity and
+// pool non-negativity. Tests call it after every operation.
+func (m *Sharing) checkInvariant() error {
+	if m.holes < 0 || m.headroom < 0 {
+		return fmt.Errorf("negative pool: holes=%v headroom=%v", m.holes, m.headroom)
+	}
+	if m.headroom > m.maxHead && m.maxHead <= m.capacity {
+		return fmt.Errorf("headroom %v exceeds cap %v", m.headroom, m.maxHead)
+	}
+	if got := m.holes + m.headroom + m.total; got != m.capacity {
+		return fmt.Errorf("space leak: holes=%v + headroom=%v + occupied=%v = %v != capacity %v",
+			m.holes, m.headroom, m.total, got, m.capacity)
+	}
+	return nil
+}
+
+func min(a, b units.Bytes) units.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bufqos/internal/units"
+)
+
+func newSharing2() *Sharing {
+	// B = 10000, reserved 2000+3000, H = 1000.
+	return NewSharing(10000, []units.Bytes{2000, 3000}, 1000)
+}
+
+func TestSharingInitialPools(t *testing.T) {
+	m := newSharing2()
+	if m.Headroom() != 1000 {
+		t.Errorf("initial headroom %v, want 1000", m.Headroom())
+	}
+	if m.Holes() != 9000 {
+		t.Errorf("initial holes %v, want 9000", m.Holes())
+	}
+	if err := m.checkInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharingHeadroomSmallerThanBuffer(t *testing.T) {
+	m := NewSharing(500, []units.Bytes{100}, 1000)
+	if m.Headroom() != 500 || m.Holes() != 0 {
+		t.Errorf("pools = (%v, %v), want headroom capped at capacity", m.Headroom(), m.Holes())
+	}
+}
+
+func TestSharingBelowThresholdUsesHolesFirst(t *testing.T) {
+	m := newSharing2()
+	if !m.Admit(0, 600) {
+		t.Fatal("below-threshold packet rejected with free space")
+	}
+	if m.Holes() != 8400 || m.Headroom() != 1000 {
+		t.Errorf("pools after admit = (%v holes, %v headroom), want (8400, 1000)", m.Holes(), m.Headroom())
+	}
+}
+
+func TestSharingBelowThresholdFallsBackToHeadroom(t *testing.T) {
+	// Drain the holes with an above-threshold borrower, then verify a
+	// below-threshold flow can still use the headroom.
+	m := NewSharing(3000, []units.Bytes{1000, 0}, 500)
+	// Flow 1 (threshold 0) borrows from holes only: holes start at 2500.
+	if !m.Admit(1, 2500) {
+		t.Fatal("borrower rejected")
+	}
+	if m.Holes() != 0 {
+		t.Fatalf("holes = %v, want 0", m.Holes())
+	}
+	// Flow 0 is below threshold: headroom (500) still admits it.
+	if !m.Admit(0, 400) {
+		t.Fatal("protected flow rejected despite headroom")
+	}
+	if m.Headroom() != 100 {
+		t.Errorf("headroom = %v, want 100", m.Headroom())
+	}
+	// But not more than the headroom.
+	if m.Admit(0, 200) {
+		t.Fatal("admitted beyond headroom+holes")
+	}
+	if err := m.checkInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharingAboveThresholdNeedsHoles(t *testing.T) {
+	m := NewSharing(3000, []units.Bytes{1000, 0}, 3000)
+	// All free space is headroom (H ≥ B): above-threshold flow 1 gets
+	// nothing even though the buffer is empty.
+	if m.Admit(1, 100) {
+		t.Fatal("above-threshold packet admitted with zero holes")
+	}
+	// Below-threshold flow 0 is fine.
+	if !m.Admit(0, 100) {
+		t.Fatal("below-threshold packet rejected")
+	}
+}
+
+func TestSharingExcessBoundedByHoles(t *testing.T) {
+	// The excess a flow holds beyond its reservation may not exceed the
+	// remaining holes.
+	m := NewSharing(10000, []units.Bytes{0, 0}, 0) // all space is holes
+	if !m.Admit(0, 4000) {
+		t.Fatal("first borrow rejected")
+	}
+	// holes = 6000, flow 0 excess would become 8000 > 6000 - reject.
+	if m.Admit(0, 4000) {
+		t.Fatal("excess allowed to outgrow remaining holes")
+	}
+	// A smaller grab that keeps excess ≤ holes is fine: excess 4000+1000
+	// = 5000 ≤ holes 6000 → admitted.
+	if !m.Admit(0, 1000) {
+		t.Fatal("legal borrow rejected")
+	}
+	if err := m.checkInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharingDepartureRefillsHeadroomFirst(t *testing.T) {
+	m := NewSharing(3000, []units.Bytes{1000, 0}, 500)
+	m.Admit(1, 2500) // drains all holes
+	m.Admit(0, 400)  // takes 400 of headroom; headroom = 100
+	// A departure of 300 should rebuild headroom to 400 and add nothing
+	// to holes.
+	m.Release(1, 300)
+	if m.Headroom() != 400 || m.Holes() != 0 {
+		t.Errorf("pools = (%v holes, %v headroom), want (0, 400)", m.Holes(), m.Headroom())
+	}
+	// A further 600 departure fills headroom to 500 and overflows 500 to
+	// holes.
+	m.Release(1, 600)
+	if m.Headroom() != 500 || m.Holes() != 500 {
+		t.Errorf("pools = (%v holes, %v headroom), want (500, 500)", m.Holes(), m.Headroom())
+	}
+	if err := m.checkInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharingZeroHeadroomDegeneratesGracefully(t *testing.T) {
+	// H = 0: pure hole sharing, no protected pool.
+	m := NewSharing(1000, []units.Bytes{500, 500}, 0)
+	if m.Headroom() != 0 || m.Holes() != 1000 {
+		t.Fatalf("pools = (%v, %v)", m.Holes(), m.Headroom())
+	}
+	if !m.Admit(0, 500) || !m.Admit(1, 500) {
+		t.Fatal("reserved shares not admitted")
+	}
+	m.Release(0, 500)
+	if m.Headroom() != 0 || m.Holes() != 500 {
+		t.Errorf("pools after release = (%v, %v), want (500, 0)", m.Holes(), m.Headroom())
+	}
+}
+
+func TestSharingFullBufferRejects(t *testing.T) {
+	m := NewSharing(1000, []units.Bytes{1000}, 0)
+	if !m.Admit(0, 1000) {
+		t.Fatal("cannot fill buffer")
+	}
+	if m.Admit(0, 1) {
+		t.Fatal("admitted into a full buffer")
+	}
+}
+
+func TestSharingAccessors(t *testing.T) {
+	m := newSharing2()
+	if m.Threshold(1) != 3000 || m.MaxHeadroom() != 1000 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestSharingNegativeHeadroomPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative headroom did not panic")
+		}
+	}()
+	NewSharing(1000, []units.Bytes{100}, -1)
+}
+
+// Property: the space conservation invariant holds across any random
+// operation sequence, and occupancy never exceeds capacity.
+func TestPropertySharingInvariant(t *testing.T) {
+	f := func(ops []uint16, hSel uint8) bool {
+		h := units.Bytes(hSel) * 20
+		m := NewSharing(5000, []units.Bytes{800, 1500, 0}, h)
+		type held struct {
+			flow int
+			size units.Bytes
+		}
+		var admitted []held
+		for _, op := range ops {
+			flow := int(op % 3)
+			size := units.Bytes(op%500) + 1
+			if op%3 == 0 && len(admitted) > 0 {
+				hd := admitted[0]
+				admitted = admitted[1:]
+				m.Release(hd.flow, hd.size)
+			} else if m.Admit(flow, size) {
+				admitted = append(admitted, held{flow, size})
+			}
+			if err := m.checkInvariant(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a below-threshold flow is never rejected while holes plus
+// headroom can hold the packet — the protection guarantee that makes
+// Proposition 1 carry over to the sharing scheme.
+func TestPropertySharingProtectsReservedFlows(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewSharing(5000, []units.Bytes{1000, 0}, 500)
+		for _, op := range ops {
+			size := units.Bytes(op%400) + 1
+			if op%2 == 0 {
+				// Aggressor borrows as much as it can.
+				m.Admit(1, size)
+				continue
+			}
+			// Protected flow stays below threshold by construction.
+			if m.Occupancy(0)+size > m.Threshold(0) {
+				continue
+			}
+			free := m.Holes() + m.Headroom()
+			got := m.Admit(0, size)
+			if free >= size && !got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// RejectReason classifies why an admission request fails, following the
+// §2.3 distinction: "the scheduler is deemed to be bandwidth limited
+// ... conversely it is considered to be buffer limited".
+type RejectReason int
+
+const (
+	// Accepted means the flow fits.
+	Accepted RejectReason = iota
+	// BandwidthLimited means Σρ would exceed the link rate (eq. 5/7).
+	BandwidthLimited
+	// BufferLimited means the buffer constraint fails (eq. 6/8).
+	BufferLimited
+)
+
+// String implements fmt.Stringer.
+func (r RejectReason) String() string {
+	switch r {
+	case Accepted:
+		return "accepted"
+	case BandwidthLimited:
+		return "bandwidth-limited"
+	case BufferLimited:
+		return "buffer-limited"
+	default:
+		return fmt.Sprintf("RejectReason(%d)", int(r))
+	}
+}
+
+// Discipline selects which schedulability region an AdmissionController
+// enforces.
+type Discipline int
+
+const (
+	// DisciplineWFQ uses equations (5)–(6): R ≥ Σρ, B ≥ Σσ.
+	DisciplineWFQ Discipline = iota
+	// DisciplineFIFO uses equations (7)–(8): R ≥ Σρ and
+	// B ≥ (B/R)·Σρ + Σσ.
+	DisciplineFIFO
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	if d == DisciplineWFQ {
+		return "WFQ"
+	}
+	return "FIFO+thresholds"
+}
+
+// AdmissionController tracks the admitted flow set of a link and
+// answers whether additional flows fit its schedulability region.
+type AdmissionController struct {
+	discipline Discipline
+	rate       units.Rate
+	buffer     units.Bytes
+	flows      []packet.FlowSpec
+	sumRho     float64 // bits/s
+	sumSigma   units.Bytes
+}
+
+// NewAdmissionController returns an empty controller for a link of the
+// given rate and total buffer.
+func NewAdmissionController(d Discipline, rate units.Rate, buffer units.Bytes) *AdmissionController {
+	if rate <= 0 || buffer <= 0 {
+		panic(fmt.Sprintf("core: invalid link rate %v or buffer %v", rate, buffer))
+	}
+	return &AdmissionController{discipline: d, rate: rate, buffer: buffer}
+}
+
+// NumFlows returns the number of admitted flows.
+func (a *AdmissionController) NumFlows() int { return len(a.flows) }
+
+// Utilization returns the reserved utilization u = Σρ/R of the admitted
+// set.
+func (a *AdmissionController) Utilization() float64 {
+	return a.sumRho / a.rate.BitsPerSecond()
+}
+
+// Check reports whether spec fits without admitting it.
+func (a *AdmissionController) Check(spec packet.FlowSpec) RejectReason {
+	if err := spec.Validate(); err != nil {
+		return BandwidthLimited
+	}
+	rho := a.sumRho + spec.TokenRate.BitsPerSecond()
+	sigma := float64(a.sumSigma + spec.BucketSize)
+	if rho > a.rate.BitsPerSecond() {
+		return BandwidthLimited
+	}
+	switch a.discipline {
+	case DisciplineWFQ:
+		if sigma > float64(a.buffer) {
+			return BufferLimited
+		}
+	case DisciplineFIFO:
+		// B ≥ (B/R)·Σρ + Σσ  ⇔  B·(1 − Σρ/R) ≥ Σσ.
+		if float64(a.buffer)*(1-rho/a.rate.BitsPerSecond()) < sigma {
+			return BufferLimited
+		}
+	}
+	return Accepted
+}
+
+// Admit adds spec to the admitted set when it fits, returning the
+// decision.
+func (a *AdmissionController) Admit(spec packet.FlowSpec) RejectReason {
+	r := a.Check(spec)
+	if r != Accepted {
+		return r
+	}
+	a.flows = append(a.flows, spec)
+	a.sumRho += spec.TokenRate.BitsPerSecond()
+	a.sumSigma += spec.BucketSize
+	return Accepted
+}
+
+// Release removes a previously admitted flow by index order equality of
+// spec; it returns false when no matching flow is found.
+func (a *AdmissionController) Release(spec packet.FlowSpec) bool {
+	for i, f := range a.flows {
+		if f == spec {
+			a.flows = append(a.flows[:i], a.flows[i+1:]...)
+			a.sumRho -= spec.TokenRate.BitsPerSecond()
+			a.sumSigma -= spec.BucketSize
+			return true
+		}
+	}
+	return false
+}
+
+// Flows returns a copy of the admitted set.
+func (a *AdmissionController) Flows() []packet.FlowSpec {
+	return append([]packet.FlowSpec(nil), a.flows...)
+}

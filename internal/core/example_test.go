@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"fmt"
+
+	"bufqos/internal/core"
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// The §3.2 threshold rule for a two-flow link: each flow's cap is
+// σ + ρB/R.
+func ExampleThresholds() {
+	specs := []packet.FlowSpec{
+		{TokenRate: units.MbitsPerSecond(8), BucketSize: units.KiloBytes(50)},
+		{TokenRate: units.MbitsPerSecond(16), BucketSize: units.KiloBytes(100)},
+	}
+	th, err := core.Thresholds(specs, units.MbitsPerSecond(48), units.MegaBytes(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, t := range th {
+		fmt.Printf("flow %d: %v\n", i, t)
+	}
+	// The raw caps (217KB, 433KB) sum below B, so footnote 5 scales
+	// them up to partition the whole buffer.
+	// Output:
+	// flow 0: 333KB
+	// flow 1: 667KB
+}
+
+// The §2.3 buffer requirements: WFQ needs Σσ; the FIFO threshold scheme
+// needs 1/(1−u) times more.
+func ExampleRequiredBufferFIFO() {
+	specs := []packet.FlowSpec{
+		{TokenRate: units.MbitsPerSecond(12), BucketSize: units.KiloBytes(150)},
+		{TokenRate: units.MbitsPerSecond(12), BucketSize: units.KiloBytes(150)},
+	}
+	wfq := core.RequiredBufferWFQ(specs)
+	fifo, err := core.RequiredBufferFIFO(specs, units.MbitsPerSecond(48))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("WFQ: %v, FIFO+thresholds: %v (inflation %.0fx at u=0.5)\n",
+		wfq, fifo, core.BufferInflation(0.5))
+	// Output:
+	// WFQ: 300KB, FIFO+thresholds: 600KB (inflation 2x at u=0.5)
+}
+
+// Proposition 3's optimal excess split for the hybrid architecture.
+func ExampleAllocateHybrid() {
+	groups := []core.Group{
+		{Rho: units.MbitsPerSecond(6), Sigma: units.KiloBytes(150)},  // telephony-like
+		{Rho: units.MbitsPerSecond(24), Sigma: units.KiloBytes(300)}, // video-like
+	}
+	rates, err := core.AllocateHybrid(units.MbitsPerSecond(48), groups)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for q, r := range rates {
+		fmt.Printf("queue %d: %v\n", q, r)
+	}
+	// Output:
+	// queue 0: 10.7Mb/s
+	// queue 1: 37.3Mb/s
+}
+
+// The admission controller enforcing the FIFO+BM schedulability region.
+func ExampleAdmissionController() {
+	ctl := core.NewAdmissionController(core.DisciplineFIFO,
+		units.MbitsPerSecond(48), units.KiloBytes(600))
+	req := packet.FlowSpec{TokenRate: units.MbitsPerSecond(12), BucketSize: units.KiloBytes(150)}
+	fmt.Println(ctl.Admit(req))
+	fmt.Println(ctl.Admit(req))
+	fmt.Println(ctl.Admit(req)) // third 150KB burst no longer fits
+	// Output:
+	// accepted
+	// accepted
+	// buffer-limited
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/core"
+	"bufqos/internal/packet"
+	"bufqos/internal/sched"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// ChurnConfig describes a dynamic-population experiment: flow requests
+// arrive as a Poisson process, pass admission control (the §2.3 FIFO+BM
+// region), hold for an exponential time, and depart. Thresholds are
+// recomputed whenever the population changes — the operational regime
+// the paper's §4 alludes to ("as flows come and go").
+type ChurnConfig struct {
+	// Template flows: each arrival draws one uniformly.
+	Templates []FlowConfig
+	// ArrivalRate is the request rate (flows/second).
+	ArrivalRate float64
+	// MeanHold is the mean flow lifetime (seconds).
+	MeanHold float64
+	// MaxFlows bounds concurrently active flows (slot pool size).
+	MaxFlows int
+	LinkRate units.Rate
+	Buffer   units.Bytes
+	Duration float64
+	Warmup   float64
+	Seed     int64
+	// PacketSize defaults to DefaultPacketSize.
+	PacketSize units.Bytes
+}
+
+// ChurnResult summarizes a churn run.
+type ChurnResult struct {
+	// Requests, Admitted, Blocked count flow-level admission outcomes;
+	// BlockedBandwidth/BlockedBuffer split the rejections by cause.
+	Requests         int
+	Admitted         int
+	Blocked          int
+	BlockedBandwidth int
+	BlockedBuffer    int
+	// BlockingProbability = Blocked / Requests.
+	BlockingProbability float64
+	// Utilization is delivered rate over link rate (post-warmup).
+	Utilization float64
+	// ConformantLoss is the byte loss ratio across all admitted flows
+	// (all churn traffic is shaped, so any loss is a guarantee
+	// violation).
+	ConformantLoss float64
+	// MeanActive is the time-average number of active flows.
+	MeanActive float64
+}
+
+// RunChurn executes a churn experiment.
+func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
+	if len(cfg.Templates) == 0 {
+		return ChurnResult{}, fmt.Errorf("experiment: churn needs templates")
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanHold <= 0 || cfg.MaxFlows <= 0 {
+		return ChurnResult{}, fmt.Errorf("experiment: churn needs positive arrival rate, hold time, and slot count")
+	}
+	if cfg.LinkRate == 0 {
+		cfg.LinkRate = DefaultLinkRate
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = DefaultPacketSize
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 60
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Duration / 10
+	}
+
+	s := sim.New()
+	col := stats.NewCollector(cfg.MaxFlows, cfg.Warmup)
+	thresholds := make([]units.Bytes, cfg.MaxFlows)
+	mgr := buffer.NewFixedThreshold(cfg.Buffer, thresholds)
+	link := sched.NewLink(s, cfg.LinkRate, sched.NewFIFO(), mgr, col)
+	admission := core.NewAdmissionController(core.DisciplineFIFO, cfg.LinkRate, cfg.Buffer)
+
+	rng := sim.NewRand(cfg.Seed)
+	srcRngSeq := 0
+
+	var res ChurnResult
+	active := make([]*packet.FlowSpec, cfg.MaxFlows) // nil = free slot
+	sources := make([]*source.OnOff, cfg.MaxFlows)
+
+	// Time-average active count via area accumulation.
+	var activeArea float64
+	var lastChange float64
+	var activeCount int
+	accumulate := func() {
+		activeArea += float64(activeCount) * (s.Now() - lastChange)
+		lastChange = s.Now()
+	}
+
+	// recompute refreshes every active flow's threshold after a
+	// population change: σᵢ + ρᵢ·B/R (no scale-up under churn; the
+	// thresholds are the Prop. 2 minima).
+	recompute := func() {
+		for i, spec := range active {
+			if spec == nil {
+				// Keep a departed slot's threshold until the slot is
+				// reused: its shaper may still be draining trailing
+				// packets, which must not be punished retroactively.
+				continue
+			}
+			mgr.SetThreshold(i, core.LeakyBucketThreshold(*spec, cfg.LinkRate, cfg.Buffer))
+		}
+	}
+
+	freeSlot := func() int {
+		for i, spec := range active {
+			// A slot is reusable only once the previous occupant's
+			// packets have fully drained, so flows never inherit
+			// phantom occupancy (or each other's statistics).
+			if spec == nil && mgr.Occupancy(i) == 0 {
+				return i
+			}
+		}
+		return -1
+	}
+
+	var arrive func()
+	arrive = func() {
+		// Schedule the next arrival first (Poisson process).
+		s.After(sim.Exponential(rng, 1/cfg.ArrivalRate), arrive)
+
+		tpl := cfg.Templates[rng.Intn(len(cfg.Templates))]
+		res.Requests++
+		slot := freeSlot()
+		verdict := core.BufferLimited // treat slot exhaustion as buffer pressure
+		if slot >= 0 {
+			verdict = admission.Admit(tpl.Spec)
+		}
+		switch verdict {
+		case core.Accepted:
+		case core.BandwidthLimited:
+			res.Blocked++
+			res.BlockedBandwidth++
+			return
+		default:
+			res.Blocked++
+			res.BlockedBuffer++
+			return
+		}
+		res.Admitted++
+		spec := tpl.Spec
+		accumulate()
+		active[slot] = &spec
+		activeCount++
+		recompute()
+
+		srcRngSeq++
+		srcRng := sim.NewRand(sim.DeriveSeed(cfg.Seed, srcRngSeq))
+		// All churn traffic is shaped (conformant): the experiment
+		// measures whether guarantees survive population changes.
+		sink := source.NewShaper(s, spec, link)
+		src := source.NewOnOff(s, srcRng, source.OnOffConfig{
+			Flow:       slot,
+			PacketSize: cfg.PacketSize,
+			PeakRate:   spec.PeakRate,
+			AvgRate:    tpl.AvgRate,
+			MeanBurst:  tpl.MeanBurst,
+		}, sink)
+		src.Start()
+		sources[slot] = src
+
+		// Departure after an exponential holding time.
+		s.After(sim.Exponential(rng, cfg.MeanHold), func() {
+			src.Stop()
+			admission.Release(spec)
+			accumulate()
+			active[slot] = nil
+			sources[slot] = nil
+			activeCount--
+			recompute()
+		})
+	}
+	s.After(sim.Exponential(rng, 1/cfg.ArrivalRate), arrive)
+	s.RunUntil(cfg.Duration)
+	accumulate()
+
+	res.Utilization = col.AggregateThroughput(cfg.Duration).BitsPerSecond() / cfg.LinkRate.BitsPerSecond()
+	res.ConformantLoss = col.ConformantLossRatio()
+	if res.Requests > 0 {
+		res.BlockingProbability = float64(res.Blocked) / float64(res.Requests)
+	}
+	res.MeanActive = activeArea / cfg.Duration
+	return res, nil
+}

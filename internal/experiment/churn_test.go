@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"testing"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+func churnTemplates() []FlowConfig {
+	return []FlowConfig{
+		{
+			Spec: packet.FlowSpec{
+				PeakRate:   units.MbitsPerSecond(16),
+				TokenRate:  units.MbitsPerSecond(2),
+				BucketSize: units.KiloBytes(30),
+			},
+			AvgRate:     units.MbitsPerSecond(2),
+			MeanBurst:   units.KiloBytes(30),
+			Conformance: Conformant,
+		},
+		{
+			Spec: packet.FlowSpec{
+				PeakRate:   units.MbitsPerSecond(24),
+				TokenRate:  units.MbitsPerSecond(6),
+				BucketSize: units.KiloBytes(60),
+			},
+			AvgRate:     units.MbitsPerSecond(6),
+			MeanBurst:   units.KiloBytes(60),
+			Conformance: Conformant,
+		},
+	}
+}
+
+func baseChurn() ChurnConfig {
+	return ChurnConfig{
+		Templates:   churnTemplates(),
+		ArrivalRate: 2,
+		MeanHold:    5,
+		MaxFlows:    32,
+		Buffer:      units.MegaBytes(2),
+		Duration:    40,
+		Warmup:      4,
+		Seed:        1,
+	}
+}
+
+func TestChurnBasicRun(t *testing.T) {
+	res, err := RunChurn(baseChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 40 {
+		t.Fatalf("only %d requests in 40s at rate 2/s", res.Requests)
+	}
+	if res.Admitted+res.Blocked != res.Requests {
+		t.Errorf("accounting: %d + %d != %d", res.Admitted, res.Blocked, res.Requests)
+	}
+	if res.BlockedBandwidth+res.BlockedBuffer != res.Blocked {
+		t.Errorf("block split: %d + %d != %d", res.BlockedBandwidth, res.BlockedBuffer, res.Blocked)
+	}
+	if res.MeanActive <= 0 {
+		t.Error("no flows ever active")
+	}
+	if res.Utilization <= 0 {
+		t.Error("no traffic delivered")
+	}
+}
+
+func TestChurnGuaranteesSurvivePopulationChanges(t *testing.T) {
+	// The point of the experiment: every admitted (shaped) flow keeps
+	// its guarantee through arrivals and departures of its neighbours.
+	res, err := RunChurn(baseChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConformantLoss > 1e-4 {
+		t.Errorf("conformant loss %v under churn, want ≈ 0", res.ConformantLoss)
+	}
+}
+
+func TestChurnBlockingGrowsWithLoad(t *testing.T) {
+	light := baseChurn()
+	light.ArrivalRate = 0.5
+	lres, err := RunChurn(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := baseChurn()
+	heavy.ArrivalRate = 10
+	heavy.MeanHold = 8
+	hres, err := RunChurn(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.BlockingProbability <= lres.BlockingProbability {
+		t.Errorf("blocking did not grow with load: light %v, heavy %v",
+			lres.BlockingProbability, hres.BlockingProbability)
+	}
+	if hres.Blocked == 0 {
+		t.Error("heavy churn load never blocked — admission control inert")
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a, err := RunChurn(baseChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChurn(baseChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	bad := []ChurnConfig{
+		{},
+		{Templates: churnTemplates()},
+		{Templates: churnTemplates(), ArrivalRate: 1},
+		{Templates: churnTemplates(), ArrivalRate: 1, MeanHold: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunChurn(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestChurnUtilizationTracksCarriedLoad(t *testing.T) {
+	// Erlang sanity: carried load ≈ mean active flows × mean per-flow
+	// rate; utilization should approximate that over the link rate.
+	res, err := RunChurn(baseChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanRate := (2e6 + 6e6) / 2
+	expected := res.MeanActive * meanRate / 48e6
+	if expected > 1 {
+		expected = 1
+	}
+	if res.Utilization < expected*0.5 || res.Utilization > expected*1.5+0.05 {
+		t.Errorf("utilization %v vs Erlang estimate %v", res.Utilization, expected)
+	}
+}

@@ -1,0 +1,517 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// RunOpts controls how the figure experiments are executed. The zero
+// value reproduces the paper's setup (5 runs, 20 simulated seconds,
+// buffers swept 0.5–5 MB, headroom 2 MB).
+type RunOpts struct {
+	// Runs is the number of independent replications (paper: 5).
+	Runs int
+	// Duration and Warmup are per-run simulated seconds.
+	Duration float64
+	Warmup   float64
+	// BaseSeed seeds run r with BaseSeed + r.
+	BaseSeed int64
+	// BufferSizes is the swept total buffer (Figures 1–6, 8–13).
+	BufferSizes []units.Bytes
+	// Headrooms is the swept headroom for Figure 7.
+	Headrooms []units.Bytes
+	// Headroom is H for the sharing schemes on buffer sweeps.
+	Headroom units.Bytes
+	// Fig7Buffer is the fixed total buffer of the Figure 7 headroom
+	// sweep (paper: 1 MB).
+	Fig7Buffer units.Bytes
+}
+
+func (o *RunOpts) defaults() {
+	if o.Runs == 0 {
+		o.Runs = 5
+	}
+	if o.Duration == 0 {
+		o.Duration = 20
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Duration / 10
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if len(o.BufferSizes) == 0 {
+		for kb := 500; kb <= 5000; kb += 500 {
+			o.BufferSizes = append(o.BufferSizes, units.KiloBytes(float64(kb)))
+		}
+	}
+	if len(o.Headrooms) == 0 {
+		for kb := 0; kb <= 1000; kb += 100 {
+			o.Headrooms = append(o.Headrooms, units.KiloBytes(float64(kb)))
+		}
+	}
+	if o.Headroom == 0 {
+		o.Headroom = units.MegaBytes(2)
+	}
+	if o.Fig7Buffer == 0 {
+		o.Fig7Buffer = units.MegaBytes(1)
+	}
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []stats.Summary // one per X value
+}
+
+// Figure is the regenerated data of one of the paper's figures.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+}
+
+// line pairs a label with a config builder and a metric extractor.
+type line struct {
+	label  string
+	cfg    func(x units.Bytes) Config
+	metric func(Result) float64
+}
+
+// runLines sweeps xs, replicating each point opts.Runs times.
+func runLines(opts RunOpts, xs []units.Bytes, lines []line) ([]Series, error) {
+	series := make([]Series, len(lines))
+	for li, l := range lines {
+		series[li].Label = l.label
+		series[li].Points = make([]stats.Summary, len(xs))
+		for xi, x := range xs {
+			vals := make([]float64, 0, opts.Runs)
+			for r := 0; r < opts.Runs; r++ {
+				cfg := l.cfg(x)
+				cfg.Duration = opts.Duration
+				cfg.Warmup = opts.Warmup
+				cfg.Seed = opts.BaseSeed + int64(r)
+				res, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s at %v run %d: %w", l.label, x, r, err)
+				}
+				vals = append(vals, l.metric(res))
+			}
+			series[li].Points[xi] = stats.Summarize(vals)
+		}
+	}
+	return series, nil
+}
+
+func mbAxis(xs []units.Bytes) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x.MB()
+	}
+	return out
+}
+
+func utilization(r Result) float64    { return r.Utilization }
+func conformantLoss(r Result) float64 { return r.ConformantLoss }
+func flowThroughputMbps(id int) func(Result) float64 {
+	return func(r Result) float64 { return r.FlowThroughput[id].Mbits() }
+}
+
+// meanThroughputMbps averages the delivered Mb/s over a set of flows.
+func meanThroughputMbps(ids []int) func(Result) float64 {
+	return func(r Result) float64 {
+		sum := 0.0
+		for _, id := range ids {
+			sum += r.FlowThroughput[id].Mbits()
+		}
+		return sum / float64(len(ids))
+	}
+}
+
+// lossOver computes the byte-weighted loss ratio over a flow set from
+// per-flow loss and offered rates.
+func lossOver(ids []int) func(Result) float64 {
+	return func(r Result) float64 {
+		var lost, offered float64
+		for _, id := range ids {
+			offered += r.OfferedRate[id].BitsPerSecond()
+			lost += r.FlowLoss[id] * r.OfferedRate[id].BitsPerSecond()
+		}
+		if offered == 0 {
+			return 0
+		}
+		return lost / offered
+	}
+}
+
+// table1Cfg returns a Config template for the Table 1 workload.
+func table1Cfg(scheme Scheme, buf, headroom units.Bytes) Config {
+	return Config{
+		Flows:    Table1Flows(),
+		Scheme:   scheme,
+		Buffer:   buf,
+		Headroom: headroom,
+		QueueOf:  Table1QueueOf(),
+	}
+}
+
+func table2Cfg(scheme Scheme, buf, headroom units.Bytes) Config {
+	return Config{
+		Flows:    Table2Flows(),
+		Scheme:   scheme,
+		Buffer:   buf,
+		Headroom: headroom,
+		QueueOf:  Table2QueueOf(),
+	}
+}
+
+// Figure1 regenerates "Aggregate throughput with threshold based buffer
+// management": utilization vs total buffer for the four §3.2 schemes.
+func Figure1(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		lines = append(lines, line{
+			label:  s.String(),
+			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+			metric: utilization,
+		})
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig1", Title: "Aggregate throughput with threshold based buffer management",
+		XLabel: "buffer (MB)", YLabel: "link utilization",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure2 regenerates "Loss for conformant flows with threshold based
+// buffer management".
+func Figure2(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		lines = append(lines, line{
+			label:  s.String(),
+			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+			metric: conformantLoss,
+		})
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig2", Title: "Loss for conformant flows with threshold based buffer management",
+		XLabel: "buffer (MB)", YLabel: "conformant loss ratio",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure3 regenerates "Throughput for non-conformant flows with
+// threshold based buffer management": flows 6 and 8 differ 5× in
+// reservation (0.4 vs 2 Mb/s); WFQ+thresholds shares excess in that
+// ratio, the others do not.
+func Figure3(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		for _, flow := range []int{6, 8} {
+			flow := flow
+			lines = append(lines, line{
+				label:  fmt.Sprintf("%s flow%d", s, flow),
+				cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+				metric: flowThroughputMbps(flow),
+			})
+		}
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig3", Title: "Throughput for non-conformant flows with threshold based buffer management",
+		XLabel: "buffer (MB)", YLabel: "throughput (Mb/s)",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure4 regenerates "Aggregate throughput with Buffer Sharing",
+// including the no-buffer-management baselines for comparison with
+// Figure 1.
+func Figure4(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	schemes := []Scheme{FIFOSharing, WFQSharing, FIFONoBM, WFQNoBM}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		lines = append(lines, line{
+			label:  s.String(),
+			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+			metric: utilization,
+		})
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig4", Title: "Aggregate throughput with Buffer Sharing (H = " + opts.Headroom.String() + ")",
+		XLabel: "buffer (MB)", YLabel: "link utilization",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure5 regenerates "Loss for conformant flows in Buffer Sharing".
+func Figure5(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	schemes := []Scheme{FIFOSharing, WFQSharing}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		lines = append(lines, line{
+			label:  s.String(),
+			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+			metric: conformantLoss,
+		})
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig5", Title: "Loss for conformant flows in Buffer Sharing (H = " + opts.Headroom.String() + ")",
+		XLabel: "buffer (MB)", YLabel: "conformant loss ratio",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure6 regenerates "Throughput for non-conformant flows with Buffer
+// Sharing": with sharing, FIFO mimics WFQ's proportional split between
+// flows 6 and 8.
+func Figure6(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	schemes := []Scheme{FIFOSharing, WFQSharing}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		for _, flow := range []int{6, 8} {
+			flow := flow
+			lines = append(lines, line{
+				label:  fmt.Sprintf("%s flow%d", s, flow),
+				cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+				metric: flowThroughputMbps(flow),
+			})
+		}
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig6", Title: "Throughput for non-conformant flows with Buffer Sharing",
+		XLabel: "buffer (MB)", YLabel: "throughput (Mb/s)",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure7 regenerates "Effect of varying the headroom in terms of loss
+// for conformant flows": buffer fixed at 1 MB, H swept.
+func Figure7(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	buf := opts.Fig7Buffer
+	schemes := []Scheme{FIFOSharing, WFQSharing}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		lines = append(lines, line{
+			label:  s.String(),
+			cfg:    func(h units.Bytes) Config { return table1Cfg(s, buf, h) },
+			metric: conformantLoss,
+		})
+	}
+	series, err := runLines(opts, opts.Headrooms, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig7", Title: fmt.Sprintf("Effect of varying the headroom (B = %v)", buf),
+		XLabel: "headroom (MB)", YLabel: "conformant loss ratio",
+		Xs: mbAxis(opts.Headrooms), Series: series,
+	}, nil
+}
+
+// hybridFigure builds the three-metric × buffer-sweep comparisons of
+// §4.2 shared by Figures 8–10 (Case 1) and 11–13 (Case 2).
+func hybridFigure(opts RunOpts, id, title, ylabel string, cfgOf func(Scheme, units.Bytes) Config,
+	metric func(Result) float64, extra []line) (Figure, error) {
+	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		lines = append(lines, line{
+			label:  s.String(),
+			cfg:    func(x units.Bytes) Config { return cfgOf(s, x) },
+			metric: metric,
+		})
+	}
+	lines = append(lines, extra...)
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: id, Title: title,
+		XLabel: "buffer (MB)", YLabel: ylabel,
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure8 regenerates "Hybrid System, Case 1: Aggregate throughput with
+// Buffer Sharing".
+func Figure8(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	return hybridFigure(opts, "fig8", "Hybrid System, Case 1: Aggregate throughput with Buffer Sharing",
+		"link utilization",
+		func(s Scheme, x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+		utilization, nil)
+}
+
+// Figure9 regenerates "Hybrid System, Case 1: Loss for conformant flows
+// with Buffer Sharing".
+func Figure9(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	return hybridFigure(opts, "fig9", "Hybrid System, Case 1: Loss for conformant flows with Buffer Sharing",
+		"conformant loss ratio",
+		func(s Scheme, x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+		conformantLoss, nil)
+}
+
+// Figure10 regenerates "Hybrid System, Case 1: Throughput for
+// non-conformant flows with Buffer Sharing" (flows 6 and 8).
+func Figure10(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		for _, flow := range []int{6, 8} {
+			flow := flow
+			lines = append(lines, line{
+				label:  fmt.Sprintf("%s flow%d", s, flow),
+				cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+				metric: flowThroughputMbps(flow),
+			})
+		}
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig10", Title: "Hybrid System, Case 1: Throughput for non-conformant flows with Buffer Sharing",
+		XLabel: "buffer (MB)", YLabel: "throughput (Mb/s)",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figure11 regenerates "Hybrid System, Case 2: Aggregate throughput
+// with Buffer Sharing" (the 30-flow Table 2 workload).
+func Figure11(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	return hybridFigure(opts, "fig11", "Hybrid System, Case 2: Aggregate throughput with Buffer Sharing",
+		"link utilization",
+		func(s Scheme, x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+		utilization, nil)
+}
+
+// Figure12 regenerates "Hybrid System, Case 2: Loss for conformant and
+// moderately conformant flows with Buffer Sharing" (flows 0–19).
+func Figure12(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	ids := make([]int, 20)
+	for i := range ids {
+		ids[i] = i
+	}
+	return hybridFigure(opts, "fig12", "Hybrid System, Case 2: Loss for conformant and moderately conformant flows",
+		"loss ratio (flows 0-19)",
+		func(s Scheme, x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+		lossOver(ids), nil)
+}
+
+// Figure13 regenerates "Hybrid System, Case 2: Throughput for
+// non-conformant flows with Buffer Sharing": mean per-flow throughput
+// of the moderate (10–19) and aggressive (20–29) classes.
+func Figure13(opts RunOpts) (Figure, error) {
+	opts.defaults()
+	moderate := make([]int, 10)
+	aggressive := make([]int, 10)
+	for i := 0; i < 10; i++ {
+		moderate[i] = 10 + i
+		aggressive[i] = 20 + i
+	}
+	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
+	var lines []line
+	for _, s := range schemes {
+		s := s
+		lines = append(lines,
+			line{
+				label:  s.String() + " moderate",
+				cfg:    func(x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+				metric: meanThroughputMbps(moderate),
+			},
+			line{
+				label:  s.String() + " aggressive",
+				cfg:    func(x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+				metric: meanThroughputMbps(aggressive),
+			},
+		)
+	}
+	series, err := runLines(opts, opts.BufferSizes, lines)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "fig13", Title: "Hybrid System, Case 2: Throughput for non-conformant flows with Buffer Sharing",
+		XLabel: "buffer (MB)", YLabel: "mean per-flow throughput (Mb/s)",
+		Xs: mbAxis(opts.BufferSizes), Series: series,
+	}, nil
+}
+
+// Figures maps figure IDs to their runners.
+var Figures = map[string]func(RunOpts) (Figure, error){
+	"fig1": Figure1, "fig2": Figure2, "fig3": Figure3,
+	"fig4": Figure4, "fig5": Figure5, "fig6": Figure6, "fig7": Figure7,
+	"fig8": Figure8, "fig9": Figure9, "fig10": Figure10,
+	"fig11": Figure11, "fig12": Figure12, "fig13": Figure13,
+}
+
+// FigureIDs returns the known figure IDs in order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(Figures))
+	for id := range Figures {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		var x, y int
+		fmt.Sscanf(ids[a], "fig%d", &x)
+		fmt.Sscanf(ids[b], "fig%d", &y)
+		return x < y
+	})
+	return ids
+}

@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"bufqos/internal/units"
+)
+
+// tinyOpts keeps figure tests fast: one run, short duration, two buffer
+// points.
+func tinyOpts() RunOpts {
+	return RunOpts{
+		Runs:        1,
+		Duration:    2,
+		Warmup:      0.25,
+		BaseSeed:    7,
+		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(2)},
+		Headrooms:   []units.Bytes{0, units.KiloBytes(500)},
+		Headroom:    units.KiloBytes(500),
+	}
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 13 {
+		t.Fatalf("registry has %d figures, want 13", len(ids))
+	}
+	if ids[0] != "fig1" || ids[12] != "fig13" {
+		t.Errorf("IDs not in order: %v", ids)
+	}
+}
+
+func TestAllFiguresRunTiny(t *testing.T) {
+	opts := tinyOpts()
+	for _, id := range FigureIDs() {
+		fig, err := Figures[id](opts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if fig.ID != id {
+			t.Errorf("%s: ID mismatch %q", id, fig.ID)
+		}
+		if len(fig.Xs) == 0 || len(fig.Series) == 0 {
+			t.Fatalf("%s: empty figure", id)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != len(fig.Xs) {
+				t.Fatalf("%s %s: %d points for %d xs", id, s.Label, len(s.Points), len(fig.Xs))
+			}
+		}
+	}
+}
+
+func TestFigure1SeriesLabels(t *testing.T) {
+	fig, err := Figure1(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FIFO", "WFQ", "FIFO+thresholds", "WFQ+thresholds"} {
+		if _, ok := fig.SeriesByLabel(want); !ok {
+			t.Errorf("figure 1 missing series %q", want)
+		}
+	}
+	if _, ok := fig.SeriesByLabel("nope"); ok {
+		t.Error("SeriesByLabel found a nonexistent label")
+	}
+}
+
+func TestFigure7SweepsHeadroom(t *testing.T) {
+	opts := tinyOpts()
+	fig, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Xs) != len(opts.Headrooms) {
+		t.Errorf("figure 7 xs = %v, want one per headroom", fig.Xs)
+	}
+	if !strings.Contains(fig.XLabel, "headroom") {
+		t.Errorf("figure 7 XLabel = %q", fig.XLabel)
+	}
+}
+
+func TestWriteTableFormat(t *testing.T) {
+	fig, err := Figure2(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTable(&b, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "±") {
+		t.Errorf("table output missing header or ci marker:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + column row + one row per X.
+	if len(lines) != 2+len(fig.Xs) {
+		t.Errorf("table has %d lines, want %d", len(lines), 2+len(fig.Xs))
+	}
+}
+
+func TestWriteCSVFormat(t *testing.T) {
+	fig, err := Figure5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, fig); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+len(fig.Xs) {
+		t.Fatalf("csv has %d lines, want %d", len(lines), 1+len(fig.Xs))
+	}
+	wantCols := 1 + 2*len(fig.Series)
+	for i, l := range lines {
+		if got := len(strings.Split(l, ",")); got != wantCols {
+			t.Errorf("csv line %d has %d columns, want %d", i, got, wantCols)
+		}
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("plain") != "plain" {
+		t.Error("plain string escaped")
+	}
+	if csvEscape(`a,b`) != `"a,b"` {
+		t.Errorf("comma not quoted: %s", csvEscape(`a,b`))
+	}
+	if csvEscape(`a"b`) != `"a""b"` {
+		t.Errorf("quote not doubled: %s", csvEscape(`a"b`))
+	}
+}
+
+func TestRunOptsDefaults(t *testing.T) {
+	var o RunOpts
+	o.defaults()
+	if o.Runs != 5 || o.Duration != 20 || o.Warmup != 2 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if len(o.BufferSizes) != 10 || o.BufferSizes[0] != units.KiloBytes(500) || o.BufferSizes[9] != units.MegaBytes(5) {
+		t.Errorf("default buffer sweep = %v", o.BufferSizes)
+	}
+	if o.Headroom != units.MegaBytes(2) {
+		t.Errorf("default headroom = %v, want paper's 2MB", o.Headroom)
+	}
+	if len(o.Headrooms) != 11 {
+		t.Errorf("default headroom sweep = %v", o.Headrooms)
+	}
+}

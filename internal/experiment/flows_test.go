@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"bufqos/internal/units"
+)
+
+func TestTable1FlowsMatchPaper(t *testing.T) {
+	flows := Table1Flows()
+	if len(flows) != 9 {
+		t.Fatalf("Table 1 has %d flows, want 9", len(flows))
+	}
+	// Aggregate reserved rate: 32.8 Mb/s, "about 68% of the link".
+	var rho float64
+	for _, f := range flows {
+		rho += f.Spec.TokenRate.Mbits()
+	}
+	if math.Abs(rho-32.8) > 1e-9 {
+		t.Errorf("Σρ = %v Mb/s, want 32.8", rho)
+	}
+	// Mean offered load "a little over 100%": Σavg = 54 Mb/s on 48.
+	load := OfferedLoad(flows, DefaultLinkRate)
+	if load <= 1.0 || load > 1.3 {
+		t.Errorf("offered load = %v, want a little over 1", load)
+	}
+	// Row checks against Table 1.
+	f0 := flows[0]
+	if f0.Spec.PeakRate != units.MbitsPerSecond(16) || f0.Spec.BucketSize != units.KiloBytes(50) ||
+		f0.Spec.TokenRate != units.MbitsPerSecond(2) || f0.AvgRate != units.MbitsPerSecond(2) {
+		t.Errorf("flow 0 = %+v", f0)
+	}
+	f8 := flows[8]
+	if f8.Spec.TokenRate != units.MbitsPerSecond(2) || f8.AvgRate != units.MbitsPerSecond(16) {
+		t.Errorf("flow 8 = %+v", f8)
+	}
+	if f8.Conformance != Aggressive || f8.MeanBurst != units.KiloBytes(250) {
+		t.Errorf("flow 8 should be aggressive with 5× bucket burst: %+v", f8)
+	}
+	for i := 0; i <= 5; i++ {
+		if !flows[i].Regulated() {
+			t.Errorf("flow %d should be regulated", i)
+		}
+	}
+	for i := 6; i <= 8; i++ {
+		if flows[i].Regulated() {
+			t.Errorf("flow %d should be unregulated", i)
+		}
+	}
+}
+
+func TestTable2FlowsMatchPaper(t *testing.T) {
+	flows := Table2Flows()
+	if len(flows) != 30 {
+		t.Fatalf("Table 2 has %d flows, want 30", len(flows))
+	}
+	for i := 0; i < 10; i++ {
+		f := flows[i]
+		if f.Spec.PeakRate != units.MbitsPerSecond(8) || f.Spec.TokenRate.Mbits() != 0.6 ||
+			f.Spec.BucketSize != units.KiloBytes(15) || f.Conformance != Conformant {
+			t.Errorf("flow %d = %+v", i, f)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		f := flows[i]
+		if f.Conformance != Moderate || f.AvgRate.Mbits() != 2.4 || f.MeanBurst != units.KiloBytes(30) {
+			t.Errorf("flow %d = %+v", i, f)
+		}
+	}
+	for i := 20; i < 30; i++ {
+		f := flows[i]
+		if f.Conformance != Aggressive || f.MeanBurst != units.KiloBytes(500) {
+			t.Errorf("flow %d = %+v", i, f)
+		}
+		// "over 8 times their requested reservation": 2.4 / 0.3 = 8.
+		if r := f.AvgRate.BitsPerSecond() / f.Spec.TokenRate.BitsPerSecond(); r < 8 {
+			t.Errorf("flow %d rate ratio %v, want ≥ 8", i, r)
+		}
+	}
+}
+
+func TestQueueMappings(t *testing.T) {
+	q1 := Table1QueueOf()
+	if len(q1) != 9 || q1[0] != 0 || q1[3] != 1 || q1[8] != 2 {
+		t.Errorf("Table1QueueOf = %v", q1)
+	}
+	q2 := Table2QueueOf()
+	if len(q2) != 30 || q2[9] != 0 || q2[10] != 1 || q2[29] != 2 {
+		t.Errorf("Table2QueueOf = %v", q2)
+	}
+}
+
+func TestConformantIDs(t *testing.T) {
+	ids := ConformantIDs(Table1Flows())
+	if len(ids) != 6 || ids[0] != 0 || ids[5] != 5 {
+		t.Errorf("conformant IDs = %v", ids)
+	}
+	ids2 := ConformantIDs(Table2Flows())
+	if len(ids2) != 10 {
+		t.Errorf("Table 2 conformant IDs = %v", ids2)
+	}
+}
+
+func TestSpecsExtraction(t *testing.T) {
+	specs := Specs(Table1Flows())
+	if len(specs) != 9 || specs[3].TokenRate != units.MbitsPerSecond(8) {
+		t.Errorf("Specs() wrong: %+v", specs[3])
+	}
+}

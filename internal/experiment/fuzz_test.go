@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseWorkload hardens the JSON scenario loader: arbitrary input
+// must either parse into a valid workload (every flow spec valid,
+// queues non-negative, link rate positive) or return an error — never
+// panic, never produce an inconsistent Workload.
+func FuzzParseWorkload(f *testing.F) {
+	f.Add(sampleWorkload)
+	f.Add(`{"flows":[{"peak_mbps":16,"avg_mbps":2,"token_mbps":2,"bucket_kb":50}]}`)
+	f.Add(`{"flows":[]}`)
+	f.Add(`{`)
+	f.Add(`{"name":"x","link_mbps":-1,"flows":[{"token_mbps":1,"bucket_kb":1,"avg_mbps":1}]}`)
+	f.Add(`{"flows":[{"count":1000000,"token_mbps":1,"bucket_kb":1,"avg_mbps":1}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		// Guard against pathological expansion blowing up memory.
+		if strings.Contains(input, "count") && len(input) > 4096 {
+			return
+		}
+		w, err := ParseWorkload(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(w.Flows) == 0 {
+			t.Fatal("parsed workload with no flows and no error")
+		}
+		if len(w.Flows) != len(w.QueueOf) {
+			t.Fatalf("flows/queues length mismatch: %d vs %d", len(w.Flows), len(w.QueueOf))
+		}
+		if w.LinkRate <= 0 {
+			t.Fatalf("non-positive link rate %v accepted", w.LinkRate)
+		}
+		for i, fc := range w.Flows {
+			if err := fc.Spec.Validate(); err != nil {
+				t.Fatalf("flow %d invalid after successful parse: %v", i, err)
+			}
+			if fc.AvgRate <= 0 {
+				t.Fatalf("flow %d has non-positive average rate", i)
+			}
+			if w.QueueOf[i] < 0 {
+				t.Fatalf("flow %d has negative queue", i)
+			}
+		}
+	})
+}

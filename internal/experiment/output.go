@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteTable renders a figure as an aligned text table: one row per X
+// value, one "mean ± ci" column per series.
+func WriteTable(w io.Writer, fig Figure) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	cols := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		cols = append(cols, s.Label)
+	}
+	fmt.Fprintln(tw, strings.Join(cols, "\t"))
+	for xi, x := range fig.Xs {
+		row := []string{fmt.Sprintf("%.2f", x)}
+		for _, s := range fig.Series {
+			p := s.Points[xi]
+			row = append(row, fmt.Sprintf("%.4f±%.4f", p.Mean, p.HalfCI95))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders a figure as CSV with mean and ci columns per series.
+func WriteCSV(w io.Writer, fig Figure) error {
+	cols := []string{csvEscape(fig.XLabel)}
+	for _, s := range fig.Series {
+		cols = append(cols, csvEscape(s.Label), csvEscape(s.Label+" ci95"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for xi, x := range fig.Xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range fig.Series {
+			p := s.Points[xi]
+			row = append(row, fmt.Sprintf("%g", p.Mean), fmt.Sprintf("%g", p.HalfCI95))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// SeriesByLabel finds a series in a figure; it returns false when the
+// label is absent.
+func (f Figure) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}

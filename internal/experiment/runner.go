@@ -1,0 +1,412 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/core"
+	"bufqos/internal/packet"
+	"bufqos/internal/sched"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// Scheme names one of the resource-management combinations compared in
+// the paper's evaluation.
+type Scheme int
+
+const (
+	// FIFONoBM is FIFO scheduling with no buffer management (shared
+	// tail-drop) — benchmark 3 of §3.2.
+	FIFONoBM Scheme = iota
+	// WFQNoBM is per-flow WFQ with a shared tail-drop buffer —
+	// benchmark 4.
+	WFQNoBM
+	// FIFOThreshold is the paper's proposal: FIFO + fixed per-flow
+	// thresholds σᵢ + ρᵢB/R — scheme 1.
+	FIFOThreshold
+	// WFQThreshold is per-flow WFQ + the same thresholds — scheme 2.
+	WFQThreshold
+	// FIFOSharing is FIFO + the §3.3 holes/headroom sharing scheme.
+	FIFOSharing
+	// WFQSharing is per-flow WFQ + the sharing scheme.
+	WFQSharing
+	// HybridSharing is the §4 architecture: k FIFO queues under WFQ,
+	// buffer sharing within each queue.
+	HybridSharing
+	// FIFODynamicThreshold is FIFO + Choudhury–Hahne dynamic thresholds,
+	// an ablation baseline (reference [1]).
+	FIFODynamicThreshold
+	// FIFORed is FIFO + RED, an ablation baseline (reference [3]).
+	FIFORed
+	// FIFOAdaptiveSharing is the §5 extension: sharing where only
+	// adaptive flows (here: the non-aggressive classes) may borrow the
+	// full holes; aggressive flows get a reduced fraction.
+	FIFOAdaptiveSharing
+	// RPQThreshold is a Rotating-Priority-Queues scheduler (reference
+	// [10]) + fixed thresholds, the sorting-free middle ground between
+	// FIFO and WFQ.
+	RPQThreshold
+	// DRRThreshold is Deficit Round Robin + fixed thresholds: the other
+	// O(1) fairness design of the era, for direct comparison with the
+	// paper's O(1) buffer-management approach.
+	DRRThreshold
+	// EDFThreshold is Earliest-Deadline-First + fixed thresholds (the
+	// rate-controlled EDF family of reference [4]).
+	EDFThreshold
+	// VCThreshold is Virtual Clock + fixed thresholds (the family
+	// reference [8] accelerates).
+	VCThreshold
+)
+
+// String implements fmt.Stringer; the names appear in result tables.
+func (s Scheme) String() string {
+	switch s {
+	case FIFONoBM:
+		return "FIFO"
+	case WFQNoBM:
+		return "WFQ"
+	case FIFOThreshold:
+		return "FIFO+thresholds"
+	case WFQThreshold:
+		return "WFQ+thresholds"
+	case FIFOSharing:
+		return "FIFO+sharing"
+	case WFQSharing:
+		return "WFQ+sharing"
+	case HybridSharing:
+		return "hybrid+sharing"
+	case FIFODynamicThreshold:
+		return "FIFO+dynthresh"
+	case FIFORed:
+		return "FIFO+RED"
+	case FIFOAdaptiveSharing:
+		return "FIFO+adaptive-sharing"
+	case RPQThreshold:
+		return "RPQ+thresholds"
+	case DRRThreshold:
+		return "DRR+thresholds"
+	case EDFThreshold:
+		return "EDF+thresholds"
+	case VCThreshold:
+		return "VC+thresholds"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Flows    []FlowConfig
+	Scheme   Scheme
+	LinkRate units.Rate
+	Buffer   units.Bytes
+	// Headroom is H for the sharing schemes (the paper's default in
+	// §3.3 is 2 MB).
+	Headroom units.Bytes
+	// QueueOf maps flows to queues for HybridSharing.
+	QueueOf []int
+	// Duration is the simulated time; Warmup the discarded prefix.
+	Duration float64
+	Warmup   float64
+	// Seed drives all randomness of the run.
+	Seed int64
+	// PacketSize defaults to DefaultPacketSize.
+	PacketSize units.Bytes
+	// DynAlpha is α for FIFODynamicThreshold (default 1).
+	DynAlpha float64
+	// TrackDelays enables per-flow queueing-delay measurement (slower;
+	// off by default).
+	TrackDelays bool
+}
+
+func (c *Config) defaults() {
+	if c.LinkRate == 0 {
+		c.LinkRate = DefaultLinkRate
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = DefaultPacketSize
+	}
+	if c.Duration == 0 {
+		c.Duration = 20
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 10
+	}
+	if c.DynAlpha == 0 {
+		c.DynAlpha = 1
+	}
+}
+
+// Result holds the measurements of one run.
+type Result struct {
+	// AggThroughput is the delivered rate across all flows.
+	AggThroughput units.Rate
+	// Utilization is AggThroughput / LinkRate.
+	Utilization float64
+	// FlowThroughput is the delivered rate per flow.
+	FlowThroughput []units.Rate
+	// ConformantLoss is the byte-loss ratio of the regulated flows
+	// (Figures 2, 5, 7, 9, 12).
+	ConformantLoss float64
+	// FlowLoss is the per-flow byte-loss ratio.
+	FlowLoss []float64
+	// OfferedRate is the measured offered load (arrival rate at the
+	// multiplexer) per flow.
+	OfferedRate []units.Rate
+	// MaxDelay and MeanDelay summarize multiplexer queueing delay in
+	// seconds across all flows (zero unless Config.TrackDelays).
+	MaxDelay  float64
+	MeanDelay float64
+	// FlowMaxDelay is the per-flow worst queueing delay (nil unless
+	// Config.TrackDelays).
+	FlowMaxDelay []float64
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg.defaults()
+	if len(cfg.Flows) == 0 {
+		return Result{}, fmt.Errorf("experiment: no flows")
+	}
+	s := sim.New()
+	n := len(cfg.Flows)
+	col := stats.NewCollector(n, cfg.Warmup)
+	if cfg.TrackDelays {
+		// Histogram ceiling: a full buffer draining at the link rate.
+		col.EnableDelays(2 * float64(cfg.Buffer) * 8 / cfg.LinkRate.BitsPerSecond())
+	}
+	specs := Specs(cfg.Flows)
+
+	var mgr buffer.Manager
+	var scheduler sched.Scheduler
+	switch cfg.Scheme {
+	case FIFONoBM:
+		mgr = buffer.NewTailDrop(cfg.Buffer, n)
+		scheduler = sched.NewFIFO()
+	case WFQNoBM:
+		mgr = buffer.NewTailDrop(cfg.Buffer, n)
+		scheduler = sched.NewWFQ(cfg.LinkRate, s.Now, tokenRates(specs))
+	case FIFOThreshold, WFQThreshold:
+		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
+		if err != nil {
+			return Result{}, err
+		}
+		mgr = buffer.NewFixedThreshold(cfg.Buffer, th)
+		if cfg.Scheme == FIFOThreshold {
+			scheduler = sched.NewFIFO()
+		} else {
+			scheduler = sched.NewWFQ(cfg.LinkRate, s.Now, tokenRates(specs))
+		}
+	case FIFOSharing, WFQSharing:
+		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
+		if err != nil {
+			return Result{}, err
+		}
+		mgr = buffer.NewSharing(cfg.Buffer, th, cfg.Headroom)
+		if cfg.Scheme == FIFOSharing {
+			scheduler = sched.NewFIFO()
+		} else {
+			scheduler = sched.NewWFQ(cfg.LinkRate, s.Now, tokenRates(specs))
+		}
+	case HybridSharing:
+		var err error
+		mgr, scheduler, err = buildHybrid(cfg, s, specs)
+		if err != nil {
+			return Result{}, err
+		}
+	case FIFODynamicThreshold:
+		mgr = buffer.NewDynamicThreshold(cfg.Buffer, n, cfg.DynAlpha)
+		scheduler = sched.NewFIFO()
+	case FIFORed:
+		minTh := cfg.Buffer / 4
+		maxTh := cfg.Buffer * 3 / 4
+		mgr = buffer.NewRED(cfg.Buffer, n, minTh, maxTh, 0.1, sim.NewRand(sim.DeriveSeed(cfg.Seed, 1<<20)))
+		scheduler = sched.NewFIFO()
+	case FIFOAdaptiveSharing:
+		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
+		if err != nil {
+			return Result{}, err
+		}
+		// Aggressive flows are treated as non-adaptive (they do not
+		// respond to loss); everyone else may borrow freely. The
+		// non-adaptive fraction defaults to 1/4 of the holes.
+		adaptive := make([]bool, n)
+		for i, f := range cfg.Flows {
+			adaptive[i] = f.Conformance != Aggressive
+		}
+		mgr = buffer.NewAdaptiveSharing(cfg.Buffer, th, adaptive, cfg.Headroom, 0.25)
+		scheduler = sched.NewFIFO()
+	case RPQThreshold:
+		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
+		if err != nil {
+			return Result{}, err
+		}
+		mgr = buffer.NewFixedThreshold(cfg.Buffer, th)
+		scheduler = sched.NewRPQ(4, 0.002, s.Now, delayClasses(specs))
+	case DRRThreshold, EDFThreshold, VCThreshold:
+		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
+		if err != nil {
+			return Result{}, err
+		}
+		mgr = buffer.NewFixedThreshold(cfg.Buffer, th)
+		switch cfg.Scheme {
+		case DRRThreshold:
+			scheduler = sched.NewDRR(tokenRates(specs), cfg.PacketSize)
+		case EDFThreshold:
+			// Per-flow delay budgets: the flow's own burst drain time
+			// σ/ρ, the natural deadline for a conformant flow.
+			budgets := make([]float64, n)
+			for i, sp := range specs {
+				budgets[i] = sp.BucketSize.Bits() / sp.TokenRate.BitsPerSecond()
+			}
+			scheduler = sched.NewEDF(s.Now, budgets)
+		default:
+			scheduler = sched.NewVirtualClock(s.Now, tokenRates(specs))
+		}
+	default:
+		return Result{}, fmt.Errorf("experiment: unknown scheme %v", cfg.Scheme)
+	}
+
+	link := sched.NewLink(s, cfg.LinkRate, scheduler, mgr, col)
+	for i, f := range cfg.Flows {
+		rng := sim.NewRand(sim.DeriveSeed(cfg.Seed, i))
+		var sink source.Sink = link
+		if f.Regulated() {
+			sink = source.NewShaper(s, f.Spec, link)
+		} else {
+			sink = source.NewMeter(s, f.Spec, link)
+		}
+		size := cfg.PacketSize
+		if f.PacketSize > 0 {
+			size = f.PacketSize
+		}
+		src := source.NewOnOff(s, rng, source.OnOffConfig{
+			Flow:       i,
+			PacketSize: size,
+			PeakRate:   f.Spec.PeakRate,
+			AvgRate:    f.AvgRate,
+			MeanBurst:  f.MeanBurst,
+		}, sink)
+		src.Start()
+	}
+	s.RunUntil(cfg.Duration)
+
+	res := Result{
+		AggThroughput:  col.AggregateThroughput(cfg.Duration),
+		FlowThroughput: make([]units.Rate, n),
+		FlowLoss:       make([]float64, n),
+		OfferedRate:    make([]units.Rate, n),
+		ConformantLoss: col.ConformantLossRatio(ConformantIDs(cfg.Flows)...),
+	}
+	res.Utilization = res.AggThroughput.BitsPerSecond() / cfg.LinkRate.BitsPerSecond()
+	meas := cfg.Duration - cfg.Warmup
+	for i := 0; i < n; i++ {
+		res.FlowThroughput[i] = col.FlowThroughput(i, cfg.Duration)
+		res.FlowLoss[i] = col.LossRatio(i)
+		res.OfferedRate[i] = units.Rate(col.Flow(i).Offered.Total().Bytes.Bits() / meas)
+	}
+	if cfg.TrackDelays {
+		res.MaxDelay = col.MaxDelay()
+		res.FlowMaxDelay = make([]float64, n)
+		var sum float64
+		var count int64
+		for i := 0; i < n; i++ {
+			d := col.Delays(i)
+			res.FlowMaxDelay[i] = d.Max()
+			sum += d.Mean() * float64(d.Count())
+			count += d.Count()
+		}
+		if count > 0 {
+			res.MeanDelay = sum / float64(count)
+		}
+	}
+	return res, nil
+}
+
+// tokenRates returns the WFQ weights: "the token rate is used to
+// determine the weight used for the flow".
+func tokenRates(specs []packet.FlowSpec) []units.Rate {
+	rates := make([]units.Rate, len(specs))
+	for i, s := range specs {
+		rates[i] = s.TokenRate
+	}
+	return rates
+}
+
+// delayClasses maps flows to RPQ delay classes by their burst-to-rate
+// ratio σ/ρ: smooth low-burst flows (telephony-like) get tighter
+// classes, bursty ones looser — the same classification intuition as
+// the paper's §4.1 queue-grouping guidance.
+func delayClasses(specs []packet.FlowSpec) []int {
+	classes := make([]int, len(specs))
+	for i, s := range specs {
+		ratio := s.BucketSize.Bits() / s.TokenRate.BitsPerSecond() // seconds of burst
+		switch {
+		case ratio < 0.05:
+			classes[i] = 0
+		case ratio < 0.15:
+			classes[i] = 1
+		case ratio < 0.5:
+			classes[i] = 2
+		default:
+			classes[i] = 3
+		}
+	}
+	return classes
+}
+
+// buildHybrid assembles the §4.2 configuration: Proposition 3 rate
+// allocation across queues, buffer partitioning in proportion to the
+// per-queue minimum requirements, per-flow thresholds within queues,
+// and a sharing manager per queue.
+func buildHybrid(cfg Config, s *sim.Simulator, specs []packet.FlowSpec) (buffer.Manager, sched.Scheduler, error) {
+	if len(cfg.QueueOf) != len(cfg.Flows) {
+		return nil, nil, fmt.Errorf("experiment: hybrid needs QueueOf for every flow")
+	}
+	k := 0
+	for _, q := range cfg.QueueOf {
+		if q+1 > k {
+			k = q + 1
+		}
+	}
+	groups, err := core.GroupFlows(specs, cfg.QueueOf, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	rates, err := core.AllocateHybrid(cfg.LinkRate, groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	minBuf, err := core.HybridBufferPerQueue(cfg.LinkRate, groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	queueBuf := core.PartitionBuffer(cfg.Buffer, minBuf)
+	th, err := core.HybridThresholds(specs, cfg.QueueOf, groups, queueBuf)
+	if err != nil {
+		return nil, nil, err
+	}
+	managers := make([]buffer.Manager, k)
+	for q := 0; q < k; q++ {
+		// Per-queue thresholds vector, zero for non-member flows (they
+		// are never seen by this queue's manager).
+		qth := make([]units.Bytes, len(specs))
+		for i, f := range cfg.QueueOf {
+			if f == q {
+				qth[i] = th[i]
+			}
+		}
+		// Headroom is split like the buffer.
+		var h units.Bytes
+		if cfg.Buffer > 0 {
+			h = units.Bytes(float64(cfg.Headroom) * float64(queueBuf[q]) / float64(cfg.Buffer))
+		}
+		managers[q] = buffer.NewSharing(queueBuf[q], qth, h)
+	}
+	mgr := buffer.NewPartitioned(cfg.QueueOf, managers)
+	scheduler := sched.NewHybrid(cfg.LinkRate, s.Now, cfg.QueueOf, rates)
+	return mgr, scheduler, nil
+}

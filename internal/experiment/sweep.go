@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bufqos/internal/units"
+)
+
+// SweepWorkload runs the Figure-1/Figure-2 style buffer sweep for an
+// arbitrary workload (e.g. one loaded from a JSON file): it returns a
+// utilization figure and a conformant-loss figure over opts.BufferSizes
+// for the given schemes.
+func SweepWorkload(w *Workload, schemes []Scheme, opts RunOpts) (util Figure, loss Figure, err error) {
+	opts.defaults()
+	if len(schemes) == 0 {
+		schemes = []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM}
+	}
+	mkLines := func(metric func(Result) float64) []line {
+		var lines []line
+		for _, s := range schemes {
+			s := s
+			lines = append(lines, line{
+				label: s.String(),
+				cfg: func(x units.Bytes) Config {
+					return Config{
+						Flows:    w.Flows,
+						Scheme:   s,
+						LinkRate: w.LinkRate,
+						Buffer:   x,
+						Headroom: opts.Headroom,
+						QueueOf:  w.QueueOf,
+					}
+				},
+				metric: metric,
+			})
+		}
+		return lines
+	}
+	name := w.Name
+	if name == "" {
+		name = fmt.Sprintf("%d flows", len(w.Flows))
+	}
+	us, err := runLines(opts, opts.BufferSizes, mkLines(utilization))
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	util = Figure{
+		ID: "sweep-util", Title: "Aggregate throughput — " + name,
+		XLabel: "buffer (MB)", YLabel: "link utilization",
+		Xs: mbAxis(opts.BufferSizes), Series: us,
+	}
+	ls, err := runLines(opts, opts.BufferSizes, mkLines(conformantLoss))
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	loss = Figure{
+		ID: "sweep-loss", Title: "Conformant loss — " + name,
+		XLabel: "buffer (MB)", YLabel: "conformant loss ratio",
+		Xs: mbAxis(opts.BufferSizes), Series: ls,
+	}
+	return util, loss, nil
+}
+
+// SchemeByName resolves a scheme label (as printed by Scheme.String)
+// for CLI use.
+func SchemeByName(name string) (Scheme, error) {
+	all := []Scheme{
+		FIFONoBM, WFQNoBM, FIFOThreshold, WFQThreshold,
+		FIFOSharing, WFQSharing, HybridSharing,
+		FIFODynamicThreshold, FIFORed, FIFOAdaptiveSharing, RPQThreshold,
+		DRRThreshold, EDFThreshold, VCThreshold,
+	}
+	for _, s := range all {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: unknown scheme %q", name)
+}

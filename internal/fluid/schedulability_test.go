@@ -1,0 +1,112 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bufqos/internal/sim"
+)
+
+// Property: the full §2.3 schedulability region. For any set of up to 6
+// (σᵢ, ρᵢ) flows with Σρ < R, give each flow the threshold σᵢ + ρᵢB/R
+// with B = R·Σσ/(R−Σρ) (equation 9): every conformant flow is lossless,
+// even when each flow plays the worst case (fill the ρ-share, then dump
+// the σ burst) at a randomized time.
+func TestPropertySchedulabilityRegionLossless(t *testing.T) {
+	r := 48e6
+	f := func(sigmaSel [6]uint8, rhoSel [6]uint8, burstAt [6]uint8, nSel uint8) bool {
+		n := int(nSel%6) + 1
+		sigmas := make([]float64, n)
+		rhos := make([]float64, n)
+		var sumSigma, sumRho float64
+		for i := 0; i < n; i++ {
+			sigmas[i] = 1e5 + float64(sigmaSel[i])*4e3 // 0.1..1.1 Mbit bursts
+			rhos[i] = 5e5 + float64(rhoSel[i])*2.5e4   // 0.5..6.9 Mb/s
+			sumSigma += sigmas[i]
+			sumRho += rhos[i]
+		}
+		if sumRho >= 0.95*r {
+			return true // outside the admissible region
+		}
+		b := r * sumSigma / (r - sumRho) // equation (9)
+		dt := 1e-4
+		th := make([]float64, n)
+		for i := 0; i < n; i++ {
+			th[i] = sigmas[i] + b*rhos[i]/r + rhos[i]*dt // one-step slack
+		}
+		e := NewEngine(r, th, dt)
+		// Each flow trickles at ρ and dumps its σ burst at a random
+		// step; afterwards it continues at ρ (still conformant).
+		burstStep := make([]int, n)
+		done := make([]bool, n)
+		for i := 0; i < n; i++ {
+			burstStep[i] = int(burstAt[i]) * 150 // within the first 3.8 s
+		}
+		rates := make([]float64, n)
+		for step := 0; step < 60000; step++ { // 6 s
+			for i := 0; i < n; i++ {
+				rates[i] = rhos[i] * dt
+				if step == burstStep[i] && !done[i] {
+					rates[i] += sigmas[i]
+					done[i] = true
+				}
+			}
+			e.Step(rates)
+		}
+		for i := 0; i < n; i++ {
+			if e.Dropped[i] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The engine agrees with the closed-form Example 1 trajectory: the
+// greedy flow's buffer clears for the first time at t₁ = B₂/R, and the
+// conformant flow receives zero service before that.
+func TestEngineMatchesExample1FirstInterval(t *testing.T) {
+	r := 48e6
+	b := 8e6
+	rho := 8e6
+	dt := 1e-5
+	b1 := b*rho/r + rho*dt
+	b2 := b - b1
+	e := NewEngine(r, []float64{b1, b2}, dt)
+	e.SetGreedy(1)
+	// Prime the greedy flow: the paper's Example 1 starts with
+	// Q₂(0) = B₂ already in the buffer.
+	e.Step([]float64{0, 0})
+	t1 := b2 / r
+	steps := int(t1/dt) - 2
+	e.Run(steps, func(float64) []float64 { return []float64{rho, 0} })
+	if e.Departed[0] > 0 {
+		t.Errorf("flow 1 served %v bits before t₁ = B₂/R", e.Departed[0])
+	}
+	// A little beyond t₁, service begins.
+	e.Run(400, func(float64) []float64 { return []float64{rho, 0} })
+	if e.Departed[0] == 0 {
+		t.Error("flow 1 still unserved after t₁")
+	}
+}
+
+// Determinism guard: the engine is pure (no hidden state), so repeated
+// runs agree bit-for-bit.
+func TestEngineDeterministic(t *testing.T) {
+	run := func() float64 {
+		e := NewEngine(48e6, []float64{2e6, 6e6}, 1e-4)
+		e.SetGreedy(1)
+		rng := sim.NewRand(3)
+		e.Run(20000, func(float64) []float64 {
+			return []float64{8e6 * rng.Float64(), 0}
+		})
+		return e.Departed[0] + e.Dropped[0]*1e3 + e.Occupancy(0)*1e6
+	}
+	if a, b := run(), run(); math.Abs(a-b) > 0 {
+		t.Errorf("engine not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,169 @@
+// Package network composes single-link routers into multi-hop paths.
+// The paper analyses one multiplexing point; a backbone deployment of
+// its scheme puts one threshold-managed FIFO at every output port. This
+// package provides exactly that: store-and-forward routers whose
+// departed packets are handed to per-flow next hops (with optional
+// propagation delay), plus end-to-end delivery statistics, so the
+// per-node guarantees can be studied in tandem.
+package network
+
+import (
+	"fmt"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/packet"
+	"bufqos/internal/sched"
+	"bufqos/internal/sim"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// Router is one store-and-forward hop: an output link (scheduler +
+// buffer manager) plus a per-flow routing table that delivers departed
+// packets to their next hop.
+type Router struct {
+	Name string
+
+	sim   *sim.Simulator
+	link  *sched.Link
+	col   *stats.Collector
+	next  map[int]func(p *packet.Packet)
+	prop  float64
+	nhops map[int]int // diagnostics: how many packets forwarded per flow
+}
+
+// NewRouter builds a hop. col may be nil; prop is the propagation delay
+// (seconds) added when forwarding to the next hop.
+func NewRouter(s *sim.Simulator, name string, rate units.Rate, scheduler sched.Scheduler,
+	mgr buffer.Manager, col *stats.Collector, prop float64) *Router {
+	if prop < 0 {
+		panic(fmt.Sprintf("network: negative propagation delay %v", prop))
+	}
+	r := &Router{
+		Name: name,
+		sim:  s,
+		col:  col,
+		next: map[int]func(p *packet.Packet){},
+		prop: prop,
+	}
+	r.link = sched.NewLink(s, rate, scheduler, mgr, col)
+	r.link.OnDepart = r.forward
+	return r
+}
+
+// Link exposes the router's output link (for occupancy inspection or
+// extra hooks — note OnDepart is owned by the router).
+func (r *Router) Link() *sched.Link { return r.link }
+
+// Collector returns the per-hop statistics collector (may be nil).
+func (r *Router) Collector() *stats.Collector { return r.col }
+
+// Receive implements source.Sink: packets enter the router's output
+// queue (ingress processing is not modelled, as in the paper).
+func (r *Router) Receive(p *packet.Packet) { r.link.Receive(p) }
+
+// SetRoute directs departed packets of flow to next. A nil next means
+// the flow terminates here.
+func (r *Router) SetRoute(flow int, next func(p *packet.Packet)) {
+	if next == nil {
+		delete(r.next, flow)
+		return
+	}
+	r.next[flow] = next
+}
+
+func (r *Router) forward(p *packet.Packet) {
+	next, ok := r.next[p.Flow]
+	if !ok {
+		return
+	}
+	if r.prop == 0 {
+		// Forward within the same event: the packet arrives at the next
+		// hop the instant its last bit leaves this one.
+		p.Arrived = r.sim.Now()
+		next(p)
+		return
+	}
+	r.sim.After(r.prop, func() {
+		p.Arrived = r.sim.Now()
+		next(p)
+	})
+}
+
+// Delivery records end-to-end completions at the far end of a path.
+type Delivery struct {
+	sim *sim.Simulator
+	// per-flow counters
+	packets []int64
+	bytes   []units.Bytes
+	delays  []*stats.DelayTracker
+}
+
+// NewDelivery builds an end-to-end sink for nflows flows.
+func NewDelivery(s *sim.Simulator, nflows int) *Delivery {
+	d := &Delivery{
+		sim:     s,
+		packets: make([]int64, nflows),
+		bytes:   make([]units.Bytes, nflows),
+		delays:  make([]*stats.DelayTracker, nflows),
+	}
+	for i := range d.delays {
+		d.delays[i] = stats.NewDelayTracker(0)
+	}
+	return d
+}
+
+// Receive implements the forwarding signature: record the completion.
+func (d *Delivery) Receive(p *packet.Packet) {
+	d.packets[p.Flow]++
+	d.bytes[p.Flow] += p.Size
+	d.delays[p.Flow].Add(d.sim.Now() - p.Created)
+}
+
+// Packets returns flow's delivered packet count.
+func (d *Delivery) Packets(flow int) int64 { return d.packets[flow] }
+
+// Bytes returns flow's delivered volume.
+func (d *Delivery) Bytes(flow int) units.Bytes { return d.bytes[flow] }
+
+// Throughput returns flow's delivered rate over [0, now].
+func (d *Delivery) Throughput(flow int) units.Rate {
+	if d.sim.Now() == 0 {
+		return 0
+	}
+	return units.Rate(d.bytes[flow].Bits() / d.sim.Now())
+}
+
+// Delay returns flow's end-to-end delay tracker (source departure to
+// final delivery).
+func (d *Delivery) Delay(flow int) *stats.DelayTracker { return d.delays[flow] }
+
+// Path wires a chain of routers for a set of flows: every flow entering
+// at the head traverses all hops and terminates in the Delivery sink.
+type Path struct {
+	Routers  []*Router
+	Delivery *Delivery
+}
+
+// NewPath connects routers head-to-tail for flows 0..nflows-1 and
+// attaches a Delivery at the end.
+func NewPath(s *sim.Simulator, routers []*Router, nflows int) *Path {
+	if len(routers) == 0 {
+		panic("network: empty path")
+	}
+	d := NewDelivery(s, nflows)
+	for i, r := range routers {
+		for flow := 0; flow < nflows; flow++ {
+			if i+1 < len(routers) {
+				next := routers[i+1]
+				r.SetRoute(flow, next.Receive)
+			} else {
+				r.SetRoute(flow, d.Receive)
+			}
+		}
+	}
+	return &Path{Routers: routers, Delivery: d}
+}
+
+// Head returns the path's entry sink.
+func (p *Path) Head() *Router { return p.Routers[0] }

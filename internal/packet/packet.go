@@ -1,0 +1,85 @@
+// Package packet defines the packet and flow-descriptor types shared by
+// traffic sources, buffer managers, and schedulers.
+package packet
+
+import (
+	"fmt"
+
+	"bufqos/internal/units"
+)
+
+// Packet is a single packet travelling through the simulated router.
+// Packets are created by sources and owned by at most one queue at a
+// time; they are never copied once enqueued.
+type Packet struct {
+	// Flow identifies the flow the packet belongs to. Flow IDs are
+	// dense small integers assigned by the experiment setup.
+	Flow int
+	// Size is the packet length in bytes, including headers.
+	Size units.Bytes
+	// Created is the simulated time the source generated the packet.
+	Created float64
+	// Arrived is the simulated time the packet reached the multiplexer
+	// (after any shaping delay).
+	Arrived float64
+	// Seq is a per-flow sequence number assigned by the source.
+	Seq uint64
+	// Conformant marks whether a token-bucket meter at the network edge
+	// found the packet within the flow's (σ, ρ) profile. The remark
+	// after Proposition 1 colors conformant bits green and excess bits
+	// red; this field is that color.
+	Conformant bool
+}
+
+// String implements fmt.Stringer for debugging output.
+func (p *Packet) String() string {
+	c := "excess"
+	if p.Conformant {
+		c = "conf"
+	}
+	return fmt.Sprintf("pkt{flow=%d seq=%d %v %s t=%.6f}", p.Flow, p.Seq, p.Size, c, p.Created)
+}
+
+// FlowSpec is the traffic contract of a flow: the leaky-bucket profile
+// (σ = BucketSize, ρ = TokenRate) plus a peak rate, exactly the triple
+// the paper's simulation setup specifies per flow.
+type FlowSpec struct {
+	// PeakRate bounds the instantaneous sending rate of the source.
+	PeakRate units.Rate
+	// TokenRate ρ is the reserved (guaranteed) rate of the flow.
+	TokenRate units.Rate
+	// BucketSize σ is the token-bucket depth in bytes.
+	BucketSize units.Bytes
+}
+
+// Validate reports a descriptive error for non-physical specs.
+func (s FlowSpec) Validate() error {
+	switch {
+	case s.TokenRate <= 0:
+		return fmt.Errorf("flow spec: token rate %v must be positive", s.TokenRate)
+	case s.BucketSize < 0:
+		return fmt.Errorf("flow spec: bucket size %v must be non-negative", s.BucketSize)
+	case s.PeakRate != 0 && s.PeakRate < s.TokenRate:
+		return fmt.Errorf("flow spec: peak rate %v below token rate %v", s.PeakRate, s.TokenRate)
+	}
+	return nil
+}
+
+// SigmaBits returns σ in bits, the unit the paper's formulas use.
+func (s FlowSpec) SigmaBits() float64 { return s.BucketSize.Bits() }
+
+// Envelope returns the maximum volume, in bits, that a conformant flow
+// may emit over an interval of length d seconds: σ + ρ·d (capped by the
+// peak rate when one is set).
+func (s FlowSpec) Envelope(d float64) float64 {
+	if d < 0 {
+		return 0
+	}
+	byBucket := s.SigmaBits() + s.TokenRate.BitsPerSecond()*d
+	if s.PeakRate > 0 {
+		if byPeak := s.PeakRate.BitsPerSecond() * d; byPeak < byBucket {
+			return byPeak
+		}
+	}
+	return byBucket
+}

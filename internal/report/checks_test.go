@@ -1,0 +1,141 @@
+package report
+
+import "testing"
+
+// Synthetic-figure unit tests for the checks not covered in
+// report_test.go, so every registered claim has a direct positive and
+// negative case.
+
+func TestNoBMAlwaysLosesCheck(t *testing.T) {
+	c := findCheck(t, "nobm-always-loses")
+	good := synth("fig2", map[string][]float64{"FIFO": {0.15, 0.03}})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("persistent-loss shape rejected: %v", err)
+	}
+	bad := synth("fig2", map[string][]float64{"FIFO": {0.15, 0.0}})
+	if err := c.Verify(bad); err == nil {
+		t.Error("vanishing no-BM loss accepted")
+	}
+}
+
+func TestThresholdsPayUtilizationCheck(t *testing.T) {
+	c := findCheck(t, "thresholds-pay-utilization")
+	good := synth("fig1", map[string][]float64{
+		"FIFO":            {0.95, 1.0},
+		"FIFO+thresholds": {0.90, 0.97},
+		"WFQ+thresholds":  {0.86, 0.94},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("paper ordering rejected: %v", err)
+	}
+	// Thresholds beating no-BM would be a simulator bug.
+	bad := synth("fig1", map[string][]float64{
+		"FIFO":            {0.80, 0.90},
+		"FIFO+thresholds": {0.95, 0.99},
+		"WFQ+thresholds":  {0.86, 0.94},
+	})
+	if err := c.Verify(bad); err == nil {
+		t.Error("inverted utilization ordering accepted")
+	}
+}
+
+func TestSharingRecoversUtilizationCheck(t *testing.T) {
+	c := findCheck(t, "sharing-recovers-utilization")
+	good := synth("fig4", map[string][]float64{"FIFO+sharing": {0.91, 0.999}})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("recovered utilization rejected: %v", err)
+	}
+	bad := synth("fig4", map[string][]float64{"FIFO+sharing": {0.91, 0.95}})
+	if err := c.Verify(bad); err == nil {
+		t.Error("low sharing utilization accepted")
+	}
+}
+
+func TestSharingKeepsProtectionCheck(t *testing.T) {
+	c := findCheck(t, "sharing-keeps-protection")
+	good := synth("fig5", map[string][]float64{
+		"FIFO+sharing": {0.002, 0.0},
+		"WFQ+sharing":  {0.0, 0.0},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("protective shape rejected: %v", err)
+	}
+	bad := synth("fig5", map[string][]float64{
+		"FIFO+sharing": {0.002, 0.02},
+		"WFQ+sharing":  {0.0, 0.0},
+	})
+	if err := c.Verify(bad); err == nil {
+		t.Error("lossy sharing accepted")
+	}
+}
+
+func TestFIFOSharingMimicsWFQCheck(t *testing.T) {
+	c := findCheck(t, "fifo-sharing-mimics-wfq")
+	good := synth("fig6", map[string][]float64{
+		"FIFO+sharing flow6": {2.0, 3.1},
+		"WFQ+sharing flow6":  {2.1, 2.8},
+		"FIFO+sharing flow8": {13.0, 13.8},
+		"WFQ+sharing flow8":  {13.1, 14.0},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("convergent sharing rejected: %v", err)
+	}
+	bad := synth("fig6", map[string][]float64{
+		"FIFO+sharing flow6": {2.0, 6.0}, // double WFQ's share
+		"WFQ+sharing flow6":  {2.1, 2.8},
+		"FIFO+sharing flow8": {13.0, 13.8},
+		"WFQ+sharing flow8":  {13.1, 14.0},
+	})
+	if err := c.Verify(bad); err == nil {
+		t.Error("divergent excess sharing accepted")
+	}
+}
+
+func TestHybridLossCloseChecks(t *testing.T) {
+	for _, name := range []string{"hybrid-loss-close-case1"} {
+		c := findCheck(t, name)
+		good := synth(c.Figure, map[string][]float64{
+			"hybrid+sharing": {0.004, 0.0},
+			"WFQ+sharing":    {0.002, 0.0},
+		})
+		if err := c.Verify(good); err != nil {
+			t.Errorf("%s: close losses rejected: %v", name, err)
+		}
+		bad := synth(c.Figure, map[string][]float64{
+			"hybrid+sharing": {0.08, 0.05},
+			"WFQ+sharing":    {0.002, 0.0},
+		})
+		if err := c.Verify(bad); err == nil {
+			t.Errorf("%s: distant losses accepted", name)
+		}
+	}
+}
+
+func TestCase2UtilizationCheck(t *testing.T) {
+	c := findCheck(t, "hybrid-utilization-close-case2")
+	good := synth("fig11", map[string][]float64{
+		"hybrid+sharing": {0.95, 0.98},
+		"WFQ+sharing":    {0.95, 0.995},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("close curves rejected: %v", err)
+	}
+}
+
+func TestCase2SplitCheck(t *testing.T) {
+	c := findCheck(t, "hybrid-sharing-split-case2")
+	good := synth("fig13", map[string][]float64{
+		"hybrid+sharing moderate": {2.41, 2.45},
+		"WFQ+sharing moderate":    {2.42, 2.45},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("reservation-honoring shape rejected: %v", err)
+	}
+	starved := synth("fig13", map[string][]float64{
+		"hybrid+sharing moderate": {1.5, 1.8},
+		"WFQ+sharing moderate":    {2.42, 2.45},
+	})
+	if err := c.Verify(starved); err == nil {
+		t.Error("starved moderate flows accepted")
+	}
+}

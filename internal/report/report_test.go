@@ -1,0 +1,194 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"bufqos/internal/experiment"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// synth builds a figure from label -> values.
+func synth(id string, series map[string][]float64) experiment.Figure {
+	fig := experiment.Figure{ID: id}
+	for label, vals := range series {
+		s := experiment.Series{Label: label}
+		for _, v := range vals {
+			s.Points = append(s.Points, stats.Summary{Mean: v, N: 1})
+		}
+		fig.Series = append(fig.Series, s)
+		fig.Xs = make([]float64, len(vals))
+	}
+	return fig
+}
+
+func findCheck(t *testing.T, name string) Check {
+	t.Helper()
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("check %q not registered", name)
+	return Check{}
+}
+
+func TestChecksRegistryCoversKeyFigures(t *testing.T) {
+	figs := map[string]bool{}
+	for _, c := range Checks() {
+		figs[c.Figure] = true
+		if c.Name == "" || c.Claim == "" || c.Verify == nil {
+			t.Errorf("check %+v incomplete", c.Name)
+		}
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12", "fig13"} {
+		if !figs[want] {
+			t.Errorf("no check covers %s", want)
+		}
+	}
+}
+
+func TestNoBMFillsLinkCheck(t *testing.T) {
+	c := findCheck(t, "nobm-fills-link")
+	good := synth("fig1", map[string][]float64{"FIFO": {0.95, 0.99}})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("good shape rejected: %v", err)
+	}
+	bad := synth("fig1", map[string][]float64{"FIFO": {0.60, 0.99}})
+	if err := c.Verify(bad); err == nil {
+		t.Error("bad shape accepted")
+	}
+	missing := synth("fig1", map[string][]float64{"WFQ": {0.9}})
+	if err := c.Verify(missing); err == nil {
+		t.Error("missing series accepted")
+	}
+}
+
+func TestThresholdsProtectCheck(t *testing.T) {
+	c := findCheck(t, "thresholds-protect")
+	good := synth("fig2", map[string][]float64{
+		"FIFO+thresholds": {0.05, 0.0},
+		"WFQ+thresholds":  {0.01, 0.0},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("good shape rejected: %v", err)
+	}
+	// FIFO+thr still losing at max buffer: fail.
+	bad := synth("fig2", map[string][]float64{
+		"FIFO+thresholds": {0.05, 0.02},
+		"WFQ+thresholds":  {0.01, 0.0},
+	})
+	if err := c.Verify(bad); err == nil {
+		t.Error("lossy threshold curve accepted")
+	}
+	// WFQ+thr losing MORE than FIFO+thr: ordering violated.
+	inverted := synth("fig2", map[string][]float64{
+		"FIFO+thresholds": {0.01, 0.0},
+		"WFQ+thresholds":  {0.05, 0.0},
+	})
+	if err := c.Verify(inverted); err == nil {
+		t.Error("inverted ordering accepted")
+	}
+}
+
+func TestProportionalSharingCheck(t *testing.T) {
+	c := findCheck(t, "wfq-shares-proportionally")
+	good := synth("fig3", map[string][]float64{
+		"WFQ+thresholds flow6": {1.0, 1.5},
+		"WFQ+thresholds flow8": {8.0, 12.0},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("good ratio rejected: %v", err)
+	}
+	bad := synth("fig3", map[string][]float64{
+		"WFQ+thresholds flow6": {5.0, 6.0},
+		"WFQ+thresholds flow8": {8.0, 9.0},
+	})
+	if err := c.Verify(bad); err == nil {
+		t.Error("flat ratio accepted")
+	}
+}
+
+func TestHeadroomCheck(t *testing.T) {
+	c := findCheck(t, "headroom-protects")
+	good := synth("fig7", map[string][]float64{"FIFO+sharing": {0.005, 0.001, 0.001}})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("decreasing loss rejected: %v", err)
+	}
+	bad := synth("fig7", map[string][]float64{"FIFO+sharing": {0.001, 0.002, 0.01}})
+	if err := c.Verify(bad); err == nil {
+		t.Error("increasing loss accepted")
+	}
+}
+
+func TestHybridCloseChecks(t *testing.T) {
+	c := findCheck(t, "hybrid-utilization-close-case1")
+	good := synth("fig8", map[string][]float64{
+		"hybrid+sharing": {0.90, 0.96},
+		"WFQ+sharing":    {0.88, 0.99},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("close curves rejected: %v", err)
+	}
+	bad := synth("fig8", map[string][]float64{
+		"hybrid+sharing": {0.70, 0.80},
+		"WFQ+sharing":    {0.88, 0.99},
+	})
+	if err := c.Verify(bad); err == nil {
+		t.Error("distant curves accepted")
+	}
+}
+
+func TestCase2LossCheck(t *testing.T) {
+	c := findCheck(t, "hybrid-loss-close-case2")
+	good := synth("fig12", map[string][]float64{
+		"hybrid+sharing": {0.013, 0.000},
+		"WFQ+sharing":    {0.009, 0.000},
+		"FIFO+sharing":   {0.106, 0.002},
+	})
+	if err := c.Verify(good); err != nil {
+		t.Errorf("paper-shaped data rejected: %v", err)
+	}
+	// FIFO no worse than hybrid: the separation claim fails.
+	flat := synth("fig12", map[string][]float64{
+		"hybrid+sharing": {0.013, 0.000},
+		"WFQ+sharing":    {0.009, 0.000},
+		"FIFO+sharing":   {0.014, 0.000},
+	})
+	if err := c.Verify(flat); err == nil {
+		t.Error("missing FIFO separation accepted")
+	}
+}
+
+func TestRunEndToEndTiny(t *testing.T) {
+	// Full pipeline at tiny scale: every check must PASS against real
+	// simulations. This is the repository's own reproduction gate.
+	opts := experiment.RunOpts{
+		Runs:        1,
+		Duration:    6,
+		Warmup:      0.6,
+		BaseSeed:    5,
+		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(1), units.MegaBytes(2)},
+		Headrooms:   []units.Bytes{0, units.KiloBytes(150), units.KiloBytes(300)},
+		Headroom:    units.KiloBytes(500),
+		Fig7Buffer:  units.KiloBytes(250),
+	}
+	var b strings.Builder
+	results, err := Run(opts, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Checks()) {
+		t.Errorf("ran %d of %d checks", len(results), len(Checks()))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s/%s failed: %v", r.Check.Figure, r.Check.Name, r.Err)
+		}
+	}
+	out := b.String()
+	if !strings.Contains(out, "PASS") {
+		t.Error("no PASS lines in report output")
+	}
+}

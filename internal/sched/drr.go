@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// DRR is Deficit Round Robin — the classic O(1) approximation of fair
+// queueing. It is the other 1990s answer to the scalability problem the
+// paper attacks: where the paper keeps FIFO and moves fairness into
+// buffer management, DRR keeps per-flow queues but replaces the sorted
+// list with a quantum-based round robin. Included as an ablation
+// baseline so the two O(1) designs can be compared directly.
+//
+// Weights set per-flow quanta proportionally; the smallest weight gets
+// one MTU per round so every backlogged flow can always send.
+type DRR struct {
+	flows   []drrFlow
+	active  []int // round-robin list of backlogged flow indices
+	cursor  int
+	len     int
+	backlog units.Bytes
+}
+
+type drrFlow struct {
+	quantum float64
+	deficit float64
+	q       []*packet.Packet
+	head    int
+	active  bool
+}
+
+// NewDRR builds a DRR scheduler. weights are relative (the paper would
+// use token rates); mtu scales the quanta so the minimum-weight flow
+// receives one MTU per round.
+func NewDRR(weights []units.Rate, mtu units.Bytes) *DRR {
+	if len(weights) == 0 {
+		panic("drr: no flows")
+	}
+	if mtu <= 0 {
+		panic(fmt.Sprintf("drr: invalid MTU %v", mtu))
+	}
+	minW := weights[0]
+	for _, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("drr: non-positive weight %v", w))
+		}
+		if w < minW {
+			minW = w
+		}
+	}
+	d := &DRR{flows: make([]drrFlow, len(weights))}
+	for i, w := range weights {
+		d.flows[i].quantum = float64(mtu) * w.BitsPerSecond() / minW.BitsPerSecond()
+	}
+	return d
+}
+
+// Enqueue implements Scheduler.
+func (d *DRR) Enqueue(p *packet.Packet) {
+	f := &d.flows[p.Flow]
+	f.q = append(f.q, p)
+	d.len++
+	d.backlog += p.Size
+	if !f.active {
+		f.active = true
+		f.deficit = 0
+		d.active = append(d.active, p.Flow)
+	}
+}
+
+// Dequeue implements Scheduler.
+func (d *DRR) Dequeue() *packet.Packet {
+	if d.len == 0 {
+		return nil
+	}
+	for {
+		if d.cursor >= len(d.active) {
+			d.cursor = 0
+		}
+		idx := d.active[d.cursor]
+		f := &d.flows[idx]
+		if f.head >= len(f.q) {
+			// Emptied earlier in the round: retire from the list.
+			d.retire(idx)
+			continue
+		}
+		head := f.q[f.head]
+		if f.deficit < float64(head.Size) {
+			// New visit: grant the quantum and move on if still short.
+			f.deficit += f.quantum
+			if f.deficit < float64(head.Size) {
+				d.cursor++
+				continue
+			}
+		}
+		f.deficit -= float64(head.Size)
+		f.q[f.head] = nil
+		f.head++
+		if f.head > 64 && f.head*2 >= len(f.q) {
+			n := copy(f.q, f.q[f.head:])
+			f.q = f.q[:n]
+			f.head = 0
+		}
+		d.len--
+		d.backlog -= head.Size
+		switch {
+		case f.head >= len(f.q):
+			d.retire(idx)
+		case f.deficit < float64(f.q[f.head].Size):
+			// Deficit exhausted: this flow's turn in the round is over.
+			d.cursor++
+		}
+		return head
+	}
+}
+
+// retire removes a flow from the active list, keeping cursor position
+// consistent.
+func (d *DRR) retire(idx int) {
+	f := &d.flows[idx]
+	f.active = false
+	f.deficit = 0
+	f.q = f.q[:0]
+	f.head = 0
+	for i, a := range d.active {
+		if a == idx {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			if i < d.cursor {
+				d.cursor--
+			}
+			break
+		}
+	}
+}
+
+// Len implements Scheduler.
+func (d *DRR) Len() int { return d.len }
+
+// Backlog implements Scheduler.
+func (d *DRR) Backlog() units.Bytes { return d.backlog }

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// EDF is an Earliest-Deadline-First scheduler: each flow carries a
+// per-hop delay budget, an arriving packet is stamped with deadline
+// arrival + budget, and the pending packet with the earliest deadline
+// is transmitted first. Combined with per-flow shaping at the edge this
+// is the "rate controlled Earliest Deadline First" discipline of the
+// paper's reference [4] — one of the sorted-queue alternatives whose
+// per-packet cost motivates the buffer-management approach.
+//
+// Packets of the same flow never reorder (their deadlines are
+// monotone); the heap breaks deadline ties by arrival sequence so the
+// discipline is deterministic.
+type EDF struct {
+	budgets []float64
+	nowFn   func() float64
+	heap    edfHeap
+	seq     uint64
+	backlog units.Bytes
+}
+
+type edfItem struct {
+	p        *packet.Packet
+	deadline float64
+	seq      uint64
+}
+
+// NewEDF builds an EDF scheduler. budgets[i] is flow i's per-hop delay
+// budget in seconds; now is the clock.
+func NewEDF(now func() float64, budgets []float64) *EDF {
+	if now == nil {
+		panic("edf: nil clock")
+	}
+	if len(budgets) == 0 {
+		panic("edf: no flows")
+	}
+	for f, b := range budgets {
+		if b <= 0 {
+			panic(fmt.Sprintf("edf: flow %d has non-positive delay budget %v", f, b))
+		}
+	}
+	return &EDF{budgets: append([]float64(nil), budgets...), nowFn: now}
+}
+
+// Enqueue implements Scheduler.
+func (e *EDF) Enqueue(p *packet.Packet) {
+	item := edfItem{p: p, deadline: e.nowFn() + e.budgets[p.Flow], seq: e.seq}
+	e.seq++
+	heap.Push(&e.heap, item)
+	e.backlog += p.Size
+}
+
+// Dequeue implements Scheduler.
+func (e *EDF) Dequeue() *packet.Packet {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	item := heap.Pop(&e.heap).(edfItem)
+	e.backlog -= item.p.Size
+	return item.p
+}
+
+// Len implements Scheduler.
+func (e *EDF) Len() int { return len(e.heap) }
+
+// Backlog implements Scheduler.
+func (e *EDF) Backlog() units.Bytes { return e.backlog }
+
+type edfHeap []edfItem
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(edfItem)) }
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1].p = nil
+	*h = old[:n-1]
+	return item
+}
+
+// VirtualClock implements the Virtual Clock discipline (the ancestor of
+// the Leap-Forward Virtual Clock of reference [8]): each flow has a
+// virtual clock advancing by L/ρᵢ per packet, lower-bounded by real
+// time, and packets are served in stamp order. It provides rate
+// guarantees like WFQ but without GPS virtual-time tracking; its known
+// weakness — flows that idle can be punished later — is part of why
+// fair-queueing variants exist.
+type VirtualClock struct {
+	rates   []float64 // bits/s
+	clocks  []float64
+	nowFn   func() float64
+	heap    edfHeap // reuse: (stamp, seq) ordering
+	seq     uint64
+	backlog units.Bytes
+}
+
+// NewVirtualClock builds a Virtual Clock scheduler with per-flow
+// reserved rates.
+func NewVirtualClock(now func() float64, rates []units.Rate) *VirtualClock {
+	if now == nil {
+		panic("vc: nil clock")
+	}
+	if len(rates) == 0 {
+		panic("vc: no flows")
+	}
+	v := &VirtualClock{nowFn: now, rates: make([]float64, len(rates)), clocks: make([]float64, len(rates))}
+	for i, r := range rates {
+		if r <= 0 {
+			panic(fmt.Sprintf("vc: flow %d has non-positive rate %v", i, r))
+		}
+		v.rates[i] = r.BitsPerSecond()
+	}
+	return v
+}
+
+// Enqueue implements Scheduler.
+func (v *VirtualClock) Enqueue(p *packet.Packet) {
+	now := v.nowFn()
+	if v.clocks[p.Flow] < now {
+		v.clocks[p.Flow] = now
+	}
+	v.clocks[p.Flow] += p.Size.Bits() / v.rates[p.Flow]
+	heap.Push(&v.heap, edfItem{p: p, deadline: v.clocks[p.Flow], seq: v.seq})
+	v.seq++
+	v.backlog += p.Size
+}
+
+// Dequeue implements Scheduler.
+func (v *VirtualClock) Dequeue() *packet.Packet {
+	if len(v.heap) == 0 {
+		return nil
+	}
+	item := heap.Pop(&v.heap).(edfItem)
+	v.backlog -= item.p.Size
+	return item.p
+}
+
+// Len implements Scheduler.
+func (v *VirtualClock) Len() int { return len(v.heap) }
+
+// Backlog implements Scheduler.
+func (v *VirtualClock) Backlog() units.Bytes { return v.backlog }

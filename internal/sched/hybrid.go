@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"fmt"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// Hybrid is the §4 architecture: flows are grouped into a small number
+// k of FIFO queues, and a WFQ scheduler serves the queues with weights
+// equal to their allocated rates Rᵢ. Inside each queue, packets are
+// served in FIFO order, and isolation between the flows sharing a queue
+// comes from buffer management (a per-queue threshold or sharing
+// manager wired up by buffer.Partitioned).
+//
+// With one flow per queue the hybrid degenerates to per-flow WFQ; with
+// one queue it degenerates to plain FIFO. The scheduler's sorted-list
+// work is O(log k) regardless of the number of flows — the scalability
+// argument of the paper.
+type Hybrid struct {
+	wfq     *WFQ
+	queueOf []int
+}
+
+// NewHybrid builds a hybrid scheduler. queueOf[flow] gives the FIFO
+// queue index of each flow and queueRates[q] the WFQ service rate
+// (weight) of queue q; rates normally come from core.AllocateHybrid.
+func NewHybrid(rate units.Rate, now func() float64, queueOf []int, queueRates []units.Rate) *Hybrid {
+	for f, q := range queueOf {
+		if q < 0 || q >= len(queueRates) {
+			panic(fmt.Sprintf("hybrid: flow %d mapped to invalid queue %d", f, q))
+		}
+	}
+	return &Hybrid{
+		wfq:     NewWFQ(rate, now, queueRates),
+		queueOf: append([]int(nil), queueOf...),
+	}
+}
+
+// QueueOf returns the queue index a flow is assigned to.
+func (h *Hybrid) QueueOf(flow int) int { return h.queueOf[flow] }
+
+// NumQueues returns k.
+func (h *Hybrid) NumQueues() int { return len(h.wfq.flows) }
+
+// Enqueue implements Scheduler. The packet keeps its flow identity; only
+// the scheduling key is the queue index.
+func (h *Hybrid) Enqueue(p *packet.Packet) {
+	q := h.queueOf[p.Flow]
+	// The inner WFQ keys everything by its "flow" = queue index. Wrap
+	// the packet reference by temporarily re-keying: WFQ only reads
+	// p.Flow at Enqueue time, so re-key around the call.
+	orig := p.Flow
+	p.Flow = q
+	h.wfq.Enqueue(p)
+	p.Flow = orig
+}
+
+// Dequeue implements Scheduler.
+func (h *Hybrid) Dequeue() *packet.Packet { return h.wfq.Dequeue() }
+
+// Len implements Scheduler.
+func (h *Hybrid) Len() int { return h.wfq.Len() }
+
+// Backlog implements Scheduler.
+func (h *Hybrid) Backlog() units.Bytes { return h.wfq.Backlog() }
+
+// QueueBacklog returns the queued packets of one of the k queues.
+func (h *Hybrid) QueueBacklog(q int) int { return h.wfq.FlowBacklog(q) }

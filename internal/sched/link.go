@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// Link is the output-link server: it accepts packets from sources (it
+// is a source.Sink), consults the buffer manager for admission, queues
+// admitted packets in the scheduler, and transmits them back-to-back at
+// the link rate. It is non-preemptive and work-conserving.
+type Link struct {
+	sim   *sim.Simulator
+	rate  units.Rate
+	sched Scheduler
+	mgr   buffer.Manager
+	col   *stats.Collector
+
+	busy bool
+	// OnDepart, if set, is called after each completed transmission.
+	// The fluid tests and the greedy feedback source use it.
+	OnDepart func(p *packet.Packet)
+	// OnDrop, if set, is called for each rejected packet.
+	OnDrop func(p *packet.Packet)
+}
+
+// NewLink builds a server draining sched at the given rate, with mgr
+// deciding admissions. col may be nil when no statistics are wanted.
+func NewLink(s *sim.Simulator, rate units.Rate, sched Scheduler, mgr buffer.Manager, col *stats.Collector) *Link {
+	if rate <= 0 {
+		panic(fmt.Sprintf("link: non-positive rate %v", rate))
+	}
+	if sched == nil || mgr == nil {
+		panic("link: nil scheduler or buffer manager")
+	}
+	return &Link{sim: s, rate: rate, sched: sched, mgr: mgr, col: col}
+}
+
+// Rate returns the link rate.
+func (l *Link) Rate() units.Rate { return l.rate }
+
+// Manager returns the buffer manager, for occupancy inspection.
+func (l *Link) Manager() buffer.Manager { return l.mgr }
+
+// Scheduler returns the scheduler.
+func (l *Link) Scheduler() Scheduler { return l.sched }
+
+// Busy reports whether a packet is currently being transmitted.
+func (l *Link) Busy() bool { return l.busy }
+
+// Receive implements source.Sink: a packet arrives at the multiplexer.
+func (l *Link) Receive(p *packet.Packet) {
+	if l.col != nil {
+		l.col.Offered(p, l.sim.Now())
+	}
+	if !l.mgr.Admit(p.Flow, p.Size) {
+		if l.col != nil {
+			l.col.Dropped(p, l.sim.Now())
+		}
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return
+	}
+	l.sched.Enqueue(p)
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+// startNext begins transmitting the scheduler's next packet, if any.
+func (l *Link) startNext() {
+	p := l.sched.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.sim.After(units.TransmissionTime(p.Size, l.rate), func() {
+		l.mgr.Release(p.Flow, p.Size)
+		if l.col != nil {
+			l.col.Departed(p, l.sim.Now())
+		}
+		if l.OnDepart != nil {
+			l.OnDepart(p)
+		}
+		l.startNext()
+	})
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+func TestLinkTransmitsAtLinkRate(t *testing.T) {
+	s := sim.New()
+	rate := units.MbitsPerSecond(48)
+	col := stats.NewCollector(1, 0)
+	link := NewLink(s, rate, NewFIFO(), buffer.NewTailDrop(units.KiloBytes(100), 1), col)
+	src := source.NewSaturating(s, 0, 500, units.MbitsPerSecond(96), link)
+	src.Start()
+	const dur = 1.0
+	s.RunUntil(dur)
+	thr := col.AggregateThroughput(dur)
+	if math.Abs(thr.BitsPerSecond()-48e6)/48e6 > 0.01 {
+		t.Errorf("saturated link throughput %v, want 48Mb/s", thr)
+	}
+}
+
+func TestLinkDropsWhenManagerRejects(t *testing.T) {
+	s := sim.New()
+	col := stats.NewCollector(1, 0)
+	// Tiny buffer: most packets of a 2x-oversubscribed source drop.
+	link := NewLink(s, units.MbitsPerSecond(4), NewFIFO(), buffer.NewTailDrop(1000, 1), col)
+	src := source.NewCBR(s, 0, 500, units.MbitsPerSecond(8), link)
+	src.Start()
+	s.RunUntil(1)
+	f := col.Flow(0)
+	if f.Dropped.Total().Packets == 0 {
+		t.Error("no drops despite 2x oversubscription and tiny buffer")
+	}
+	offered := f.Offered.Total().Packets
+	kept := f.Departed.Total().Packets + f.Dropped.Total().Packets
+	// Conservation: offered = departed + dropped + still queued (≤ 2 pkts + 1 in service).
+	if offered-kept > 3 {
+		t.Errorf("conservation violated: offered %d, departed+dropped %d", offered, kept)
+	}
+}
+
+func TestLinkOccupancyReleasedOnDeparture(t *testing.T) {
+	s := sim.New()
+	mgr := buffer.NewTailDrop(units.KiloBytes(10), 1)
+	link := NewLink(s, units.MbitsPerSecond(8), NewFIFO(), mgr, nil)
+	link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	if mgr.Total() != 1000 {
+		t.Fatalf("occupancy %v after two arrivals", mgr.Total())
+	}
+	s.Run(0)
+	if mgr.Total() != 0 {
+		t.Errorf("occupancy %v after drain, want 0", mgr.Total())
+	}
+	if link.Busy() {
+		t.Error("link still busy after drain")
+	}
+}
+
+func TestLinkWorkConservation(t *testing.T) {
+	// The link must never idle while packets are queued: delivered bytes
+	// over a saturated interval equal rate × time exactly (± one packet).
+	s := sim.New()
+	rate := units.MbitsPerSecond(8)
+	col := stats.NewCollector(1, 0)
+	link := NewLink(s, rate, NewFIFO(), buffer.NewTailDrop(units.KiloBytes(50), 1), col)
+	src := source.NewCBR(s, 0, 500, units.MbitsPerSecond(16), link)
+	src.Start()
+	const dur = 2.0
+	s.RunUntil(dur)
+	delivered := col.Flow(0).Departed.Total().Bytes.Bits()
+	capacity := rate.BitsPerSecond() * dur
+	if capacity-delivered > 2*500*8 {
+		t.Errorf("delivered %v bits of %v possible: link idled while backlogged", delivered, capacity)
+	}
+}
+
+func TestLinkHooksFire(t *testing.T) {
+	s := sim.New()
+	link := NewLink(s, units.MbitsPerSecond(8), NewFIFO(), buffer.NewTailDrop(600, 1), nil)
+	var drops, departs int
+	link.OnDrop = func(*packet.Packet) { drops++ }
+	link.OnDepart = func(*packet.Packet) { departs++ }
+	link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	link.Receive(&packet.Packet{Flow: 0, Size: 500}) // buffer full: dropped
+	s.Run(0)
+	if drops != 1 || departs != 1 {
+		t.Errorf("hooks: drops=%d departs=%d, want 1,1", drops, departs)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	s := sim.New()
+	cases := []func(){
+		func() { NewLink(s, 0, NewFIFO(), buffer.NewTailDrop(100, 1), nil) },
+		func() { NewLink(s, units.Mbps, nil, buffer.NewTailDrop(100, 1), nil) },
+		func() { NewLink(s, units.Mbps, NewFIFO(), nil, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("validation case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinkFIFODelayMatchesQueueingTheory(t *testing.T) {
+	// Deterministic check: with the buffer pre-filled to Q bytes, a FIFO
+	// arrival waits exactly Q·8/R before its own transmission completes
+	// at +L·8/R — the (Q₁+Q₂)/R argument in the paper's §2.1 proof.
+	s := sim.New()
+	rate := units.MbitsPerSecond(8)
+	link := NewLink(s, rate, NewFIFO(), buffer.NewTailDrop(units.KiloBytes(100), 2), nil)
+	for i := 0; i < 10; i++ {
+		link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	}
+	var done float64
+	probe := &packet.Packet{Flow: 1, Size: 500, Arrived: 0}
+	link.OnDepart = func(p *packet.Packet) {
+		if p.Flow == 1 {
+			done = s.Now()
+		}
+	}
+	link.Receive(probe)
+	s.Run(0)
+	want := 11 * units.TransmissionTime(500, rate)
+	if math.Abs(done-want) > 1e-9 {
+		t.Errorf("probe finished at %v, want %v", done, want)
+	}
+}
+
+func TestHybridEndToEndQueueRates(t *testing.T) {
+	// Two queues with rates 36 and 12 Mb/s, both saturated by their
+	// member flows: delivered bytes split 3:1.
+	s := sim.New()
+	rate := units.MbitsPerSecond(48)
+	col := stats.NewCollector(2, 0.2)
+	queueOf := []int{0, 1}
+	qRates := []units.Rate{units.MbitsPerSecond(36), units.MbitsPerSecond(12)}
+	h := NewHybrid(rate, s.Now, queueOf, qRates)
+	mgr := buffer.NewPartitioned(queueOf, []buffer.Manager{
+		buffer.NewTailDrop(units.KiloBytes(50), 2),
+		buffer.NewTailDrop(units.KiloBytes(50), 2),
+	})
+	link := NewLink(s, rate, h, mgr, col)
+	for i := 0; i < 2; i++ {
+		src := source.NewSaturating(s, i, 500, rate, link)
+		src.Start()
+	}
+	const dur = 2.0
+	s.RunUntil(dur)
+	b0 := float64(col.Flow(0).Departed.Total().Bytes)
+	b1 := float64(col.Flow(1).Departed.Total().Bytes)
+	if ratio := b0 / b1; math.Abs(ratio-3) > 0.1 {
+		t.Errorf("queue service ratio %.3f, want 3", ratio)
+	}
+}

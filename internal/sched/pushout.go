@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"fmt"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// PushoutFIFO implements the protective pushout policy of the paper's
+// reference [2] (Cidon, Guérin, Khamisy, "Protective buffer management
+// policies"): a FIFO queue where an arriving packet of a flow below its
+// fair share may, when the buffer is full, push out the most recent
+// packet of the flow most in excess of its own share.
+//
+// Pushout needs to remove packets already queued, which no
+// Manager/Scheduler split can express — so this type implements BOTH
+// interfaces and is wired into a Link as its scheduler and its buffer
+// manager simultaneously. Compared to the paper's threshold scheme it
+// achieves tail-drop-level utilization with flow protection, at the
+// cost of O(queue length) worst-case removal work — exactly the kind of
+// per-packet cost §1 argues against at high speed.
+type PushoutFIFO struct {
+	capacity units.Bytes
+	shares   []units.Bytes
+	occ      []units.Bytes
+	total    units.Bytes
+
+	q    []*packet.Packet // nil entries are pushed-out holes
+	head int
+	len  int
+
+	// OnPushout, if set, is called for each victim packet (for drop
+	// accounting).
+	OnPushout func(p *packet.Packet)
+}
+
+// NewPushoutFIFO builds the combined queue/policy. shares[i] is flow
+// i's guaranteed buffer share; Σshares should not exceed capacity for
+// the protection property to hold.
+func NewPushoutFIFO(capacity units.Bytes, shares []units.Bytes) *PushoutFIFO {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("pushout: non-positive capacity %v", capacity))
+	}
+	if len(shares) == 0 {
+		panic("pushout: no flows")
+	}
+	for i, s := range shares {
+		if s < 0 {
+			panic(fmt.Sprintf("pushout: negative share %v for flow %d", s, i))
+		}
+	}
+	return &PushoutFIFO{
+		capacity: capacity,
+		shares:   append([]units.Bytes(nil), shares...),
+		occ:      make([]units.Bytes, len(shares)),
+	}
+}
+
+// --- buffer.Manager ---
+
+// Admit implements buffer.Manager. When the packet does not fit, a
+// flow below its share pushes out the newest packet of the most
+// over-share flow (repeatedly, until the arrival fits or no eligible
+// victim remains).
+func (po *PushoutFIFO) Admit(flow int, size units.Bytes) bool {
+	for po.total+size > po.capacity {
+		if po.occ[flow]+size > po.shares[flow] {
+			return false // arriving flow not entitled to protection
+		}
+		victim := po.mostOverShare(flow)
+		if victim < 0 {
+			return false
+		}
+		if !po.pushOutNewest(victim) {
+			return false
+		}
+	}
+	po.occ[flow] += size
+	po.total += size
+	return true
+}
+
+// Release implements buffer.Manager (called by the Link on departure).
+func (po *PushoutFIFO) Release(flow int, size units.Bytes) {
+	if po.occ[flow] < size {
+		panic(fmt.Sprintf("pushout: flow %d releasing %v with only %v held", flow, size, po.occ[flow]))
+	}
+	po.occ[flow] -= size
+	po.total -= size
+}
+
+// Occupancy implements buffer.Manager.
+func (po *PushoutFIFO) Occupancy(flow int) units.Bytes { return po.occ[flow] }
+
+// Total implements buffer.Manager.
+func (po *PushoutFIFO) Total() units.Bytes { return po.total }
+
+// Capacity implements buffer.Manager.
+func (po *PushoutFIFO) Capacity() units.Bytes { return po.capacity }
+
+// mostOverShare returns the flow with the largest occupancy excess over
+// its share (excluding the arriving flow), or -1 when nobody is over.
+func (po *PushoutFIFO) mostOverShare(except int) int {
+	best := -1
+	var bestExcess units.Bytes
+	for i := range po.occ {
+		if i == except {
+			continue
+		}
+		excess := po.occ[i] - po.shares[i]
+		if excess > 0 && (best < 0 || excess > bestExcess) {
+			best = i
+			bestExcess = excess
+		}
+	}
+	return best
+}
+
+// pushOutNewest removes the victim flow's most recent queued packet.
+// The packet IN SERVICE cannot be pushed out (it has left the
+// scheduler), so this can fail even when occupancy is positive.
+func (po *PushoutFIFO) pushOutNewest(flow int) bool {
+	for i := len(po.q) - 1; i >= po.head; i-- {
+		p := po.q[i]
+		if p == nil || p.Flow != flow {
+			continue
+		}
+		po.q[i] = nil
+		po.len--
+		po.occ[flow] -= p.Size
+		po.total -= p.Size
+		if po.OnPushout != nil {
+			po.OnPushout(p)
+		}
+		return true
+	}
+	return false
+}
+
+// --- Scheduler ---
+
+// Enqueue implements Scheduler.
+func (po *PushoutFIFO) Enqueue(p *packet.Packet) {
+	po.q = append(po.q, p)
+	po.len++
+}
+
+// Dequeue implements Scheduler, skipping pushed-out holes.
+func (po *PushoutFIFO) Dequeue() *packet.Packet {
+	for po.head < len(po.q) {
+		p := po.q[po.head]
+		po.q[po.head] = nil
+		po.head++
+		if po.head > 64 && po.head*2 >= len(po.q) {
+			n := copy(po.q, po.q[po.head:])
+			po.q = po.q[:n]
+			po.head = 0
+		}
+		if p != nil {
+			po.len--
+			return p
+		}
+	}
+	return nil
+}
+
+// Len implements Scheduler (queued packets, excluding holes).
+func (po *PushoutFIFO) Len() int { return po.len }
+
+// Backlog implements Scheduler. Note this equals Total() minus the
+// packet in service, which the Link accounts for separately.
+func (po *PushoutFIFO) Backlog() units.Bytes {
+	var sum units.Bytes
+	for i := po.head; i < len(po.q); i++ {
+		if po.q[i] != nil {
+			sum += po.q[i].Size
+		}
+	}
+	return sum
+}

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/units"
+)
+
+func TestRPQLowerClassFirst(t *testing.T) {
+	now := 0.0
+	// Flow 0 class 0 (urgent), flow 1 class 2.
+	r := NewRPQ(4, 0.01, func() float64 { return now }, []int{0, 2})
+	r.Enqueue(mkPkt(1, 500, 10)) // future epoch
+	r.Enqueue(mkPkt(0, 500, 20)) // due now
+	if p := r.Dequeue(); p.Flow != 0 {
+		t.Fatalf("class-0 packet not served first (got flow %d)", p.Flow)
+	}
+	// Work conservation: the future packet is still served when nothing
+	// is due.
+	if p := r.Dequeue(); p == nil || p.Flow != 1 {
+		t.Fatalf("future packet not served work-conservingly: %v", p)
+	}
+}
+
+func TestRPQRotationPromotes(t *testing.T) {
+	now := 0.0
+	r := NewRPQ(4, 0.01, func() float64 { return now }, []int{0, 2})
+	r.Enqueue(mkPkt(1, 500, 1)) // class 2: due in epoch 2
+	r.Enqueue(mkPkt(0, 500, 2)) // due immediately
+	// After two rotations the class-2 packet is due; a newly arriving
+	// class-0 packet must queue BEHIND it in the due FIFO.
+	now = 0.025 // epoch 2
+	r.Enqueue(mkPkt(0, 500, 3))
+	got := []uint64{}
+	for p := r.Dequeue(); p != nil; p = r.Dequeue() {
+		got = append(got, p.Seq)
+	}
+	want := []uint64{2, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRPQEpochAdvances(t *testing.T) {
+	now := 0.0
+	r := NewRPQ(8, 0.5, func() float64 { return now }, []int{0})
+	if r.Epoch() != 0 {
+		t.Fatal("epoch should start at 0")
+	}
+	now = 2.6
+	if got := r.Epoch(); got != 5 {
+		t.Errorf("epoch = %d at t=2.6 with Δ=0.5, want 5", got)
+	}
+}
+
+func TestRPQCountsAndBacklog(t *testing.T) {
+	now := 0.0
+	r := NewRPQ(3, 0.01, func() float64 { return now }, []int{0, 1, 2})
+	for f := 0; f < 3; f++ {
+		r.Enqueue(mkPkt(f, 500, uint64(f)))
+	}
+	if r.Len() != 3 || r.Backlog() != 1500 {
+		t.Errorf("len=%d backlog=%v", r.Len(), r.Backlog())
+	}
+	for r.Dequeue() != nil {
+	}
+	if r.Len() != 0 || r.Backlog() != 0 {
+		t.Errorf("after drain: len=%d backlog=%v", r.Len(), r.Backlog())
+	}
+}
+
+func TestRPQValidation(t *testing.T) {
+	now := func() float64 { return 0 }
+	cases := []func(){
+		func() { NewRPQ(0, 0.01, now, nil) },
+		func() { NewRPQ(4, 0, now, nil) },
+		func() { NewRPQ(4, 0.01, nil, nil) },
+		func() { NewRPQ(4, 0.01, now, []int{4}) },
+		func() { NewRPQ(4, 0.01, now, []int{-1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRPQDelayClassEndToEnd(t *testing.T) {
+	// Urgent class-0 CBR flow vs bulk class-3 saturating flow on one
+	// link: the urgent flow's worst queueing delay must stay around one
+	// rotation epoch + packet times, far below the bulk flow's.
+	s := sim.New()
+	rate := units.MbitsPerSecond(48)
+	const delta = 0.002
+	r := NewRPQ(4, delta, s.Now, []int{0, 3})
+	link := NewLink(s, rate, r, buffer.NewFixedThreshold(units.KiloBytes(200),
+		[]units.Bytes{units.KiloBytes(50), units.KiloBytes(150)}), nil)
+	var worstUrgent, worstBulk float64
+	link.OnDepart = func(p *packet.Packet) {
+		d := s.Now() - p.Arrived
+		if p.Flow == 0 && d > worstUrgent {
+			worstUrgent = d
+		}
+		if p.Flow == 1 && d > worstBulk {
+			worstBulk = d
+		}
+	}
+	urgent := source.NewCBR(s, 0, 500, units.MbitsPerSecond(2), link)
+	urgent.Start()
+	bulk := source.NewSaturating(s, 1, 500, rate, link)
+	bulk.Start()
+	s.RunUntil(3)
+	if worstUrgent == 0 || worstBulk == 0 {
+		t.Fatal("a flow was never served")
+	}
+	// RPQ's guarantee under overload is deadline ORDERING, not small
+	// absolute delays: the saturating bulk flow legitimately keeps its
+	// whole 150 KB threshold promoted into the due queue. The checkable
+	// properties: (a) urgent delay never exceeds the promoted-backlog
+	// bound (bulk threshold drain time + one epoch + packet times), and
+	// (b) the bulk class's worst delay clearly exceeds the urgent
+	// class's (its packets park ≥ 3 epochs first).
+	bound := 150e3*8/48e6 + delta + 2*units.TransmissionTime(500, rate)
+	if worstUrgent > bound {
+		t.Errorf("urgent worst delay %v exceeds promoted-backlog bound %v", worstUrgent, bound)
+	}
+	if worstBulk <= worstUrgent {
+		t.Errorf("no class separation: bulk worst %v ≤ urgent worst %v", worstBulk, worstUrgent)
+	}
+}
+
+func TestRPQWorkConservingUnderLoad(t *testing.T) {
+	s := sim.New()
+	rate := units.MbitsPerSecond(8)
+	r := NewRPQ(4, 0.01, s.Now, []int{1})
+	var delivered units.Bytes
+	link := NewLink(s, rate, r, buffer.NewTailDrop(units.KiloBytes(50), 1), nil)
+	link.OnDepart = func(p *packet.Packet) { delivered += p.Size }
+	src := source.NewSaturating(s, 0, 500, 2*rate, link)
+	src.Start()
+	const dur = 2.0
+	s.RunUntil(dur)
+	capacity := rate.BytesPerSecond() * dur
+	if float64(delivered) < capacity-1500 {
+		t.Errorf("delivered %v of %v possible bytes: RPQ idled while backlogged", delivered, capacity)
+	}
+}

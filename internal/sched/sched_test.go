@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"testing"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+func mkPkt(flow int, size units.Bytes, seq uint64) *packet.Packet {
+	return &packet.Packet{Flow: flow, Size: size, Seq: seq}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO()
+	for i := 0; i < 10; i++ {
+		f.Enqueue(mkPkt(i%2, 500, uint64(i)))
+	}
+	for i := 0; i < 10; i++ {
+		p := f.Dequeue()
+		if p == nil || p.Seq != uint64(i) {
+			t.Fatalf("dequeue %d got %v", i, p)
+		}
+	}
+	if f.Dequeue() != nil {
+		t.Error("empty FIFO returned a packet")
+	}
+}
+
+func TestFIFOLenAndBacklog(t *testing.T) {
+	f := NewFIFO()
+	f.Enqueue(mkPkt(0, 500, 0))
+	f.Enqueue(mkPkt(0, 300, 1))
+	if f.Len() != 2 || f.Backlog() != 800 {
+		t.Errorf("len=%d backlog=%v, want 2, 800", f.Len(), f.Backlog())
+	}
+	f.Dequeue()
+	if f.Len() != 1 || f.Backlog() != 300 {
+		t.Errorf("after dequeue: len=%d backlog=%v", f.Len(), f.Backlog())
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	// Interleaved enqueue/dequeue far past the compaction trigger.
+	f := NewFIFO()
+	seq := uint64(0)
+	next := uint64(0)
+	for round := 0; round < 1000; round++ {
+		f.Enqueue(mkPkt(0, 100, seq))
+		seq++
+		if round%2 == 1 {
+			p := f.Dequeue()
+			if p.Seq != next {
+				t.Fatalf("round %d: got seq %d, want %d", round, p.Seq, next)
+			}
+			next++
+		}
+	}
+	for p := f.Dequeue(); p != nil; p = f.Dequeue() {
+		if p.Seq != next {
+			t.Fatalf("drain: got seq %d, want %d", p.Seq, next)
+		}
+		next++
+	}
+	if next != seq {
+		t.Errorf("drained %d packets, want %d", next, seq)
+	}
+	if f.Backlog() != 0 || f.Len() != 0 {
+		t.Error("non-zero backlog after drain")
+	}
+}
+
+func TestHybridMapsFlowsToQueues(t *testing.T) {
+	now := func() float64 { return 0 }
+	h := NewHybrid(units.MbitsPerSecond(48), now, []int{0, 0, 1}, []units.Rate{units.MbitsPerSecond(24), units.MbitsPerSecond(24)})
+	if h.NumQueues() != 2 {
+		t.Fatalf("NumQueues = %d", h.NumQueues())
+	}
+	if h.QueueOf(1) != 0 || h.QueueOf(2) != 1 {
+		t.Error("QueueOf mapping wrong")
+	}
+	h.Enqueue(mkPkt(0, 500, 0))
+	h.Enqueue(mkPkt(2, 500, 1))
+	if h.QueueBacklog(0) != 1 || h.QueueBacklog(1) != 1 {
+		t.Errorf("queue backlogs = %d,%d", h.QueueBacklog(0), h.QueueBacklog(1))
+	}
+	// Packets keep their original flow IDs on dequeue.
+	got := map[int]bool{}
+	for p := h.Dequeue(); p != nil; p = h.Dequeue() {
+		got[p.Flow] = true
+	}
+	if !got[0] || !got[2] {
+		t.Errorf("flow identities lost: %v", got)
+	}
+}
+
+func TestHybridFIFOWithinQueue(t *testing.T) {
+	now := func() float64 { return 0 }
+	h := NewHybrid(units.MbitsPerSecond(48), now, []int{0, 0}, []units.Rate{units.MbitsPerSecond(48)})
+	// Two flows sharing one queue: strict arrival order preserved.
+	h.Enqueue(mkPkt(0, 500, 10))
+	h.Enqueue(mkPkt(1, 500, 11))
+	h.Enqueue(mkPkt(0, 500, 12))
+	want := []uint64{10, 11, 12}
+	for i, w := range want {
+		p := h.Dequeue()
+		if p == nil || p.Seq != w {
+			t.Fatalf("dequeue %d: got %v, want seq %d", i, p, w)
+		}
+	}
+}
+
+func TestHybridInvalidMappingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid queue mapping did not panic")
+		}
+	}()
+	NewHybrid(units.Mbps, func() float64 { return 0 }, []int{3}, []units.Rate{units.Mbps})
+}

@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// WFQ is packetized Weighted Fair Queueing (PGPS): each flow has its own
+// FIFO queue and a weight φᵢ, and the scheduler transmits the packet
+// that would finish first in the fluid GPS reference system.
+//
+// The GPS virtual time V(t) is tracked exactly, not approximated: between
+// scheduler events V advances at rate R/Σφ over the GPS-backlogged flows,
+// and GPS departures inside an interval are replayed iteratively
+// (Demers–Keshav–Shenker). A packet of flow i arriving at time t gets
+//
+//	S = max(V(t), F_prev(i)),  F = S + L/φᵢ
+//
+// and flows are served in increasing order of the head-packet finish tag.
+//
+// Weights are expressed in rate units (bits/s); the paper sets φᵢ to the
+// flow's reserved token rate ρᵢ.
+type WFQ struct {
+	rate    units.Rate
+	flows   []wfqFlow
+	ready   readyHeap // non-empty packet queues, keyed by head finish tag
+	gps     gpsHeap   // GPS-backlogged flows, keyed by last finish tag
+	v       float64   // GPS virtual time
+	lastT   float64   // real time of the last virtual-time update
+	sumPhi  float64   // Σφ over GPS-backlogged flows
+	nowFn   func() float64
+	len     int
+	backlog units.Bytes
+}
+
+type wfqFlow struct {
+	phi        float64 // weight in bits/s
+	q          []taggedPacket
+	qhead      int
+	lastFinish float64 // finish tag of the flow's most recent arrival
+	readyIdx   int     // index in ready heap, -1 if absent
+	gpsIdx     int     // index in gps heap, -1 if absent
+}
+
+type taggedPacket struct {
+	p      *packet.Packet
+	finish float64
+}
+
+// NewWFQ returns a WFQ scheduler for a link of the given rate. now is
+// the clock (normally Simulator.Now), and weights[i] is flow i's weight
+// in bits/s (the paper uses the reserved rate ρᵢ).
+func NewWFQ(rate units.Rate, now func() float64, weights []units.Rate) *WFQ {
+	if rate <= 0 {
+		panic(fmt.Sprintf("wfq: non-positive link rate %v", rate))
+	}
+	if now == nil {
+		panic("wfq: nil clock")
+	}
+	if len(weights) == 0 {
+		panic("wfq: no flows")
+	}
+	w := &WFQ{rate: rate, nowFn: now, flows: make([]wfqFlow, len(weights))}
+	for i, phi := range weights {
+		if phi <= 0 {
+			panic(fmt.Sprintf("wfq: flow %d has non-positive weight %v", i, phi))
+		}
+		w.flows[i] = wfqFlow{phi: phi.BitsPerSecond(), readyIdx: -1, gpsIdx: -1}
+	}
+	return w
+}
+
+// VirtualTime returns the current GPS virtual time (after advancing it
+// to the present); exposed for tests and instrumentation.
+func (w *WFQ) VirtualTime() float64 {
+	w.advance(w.nowFn())
+	return w.v
+}
+
+// advance moves the GPS virtual clock from w.lastT to real time t,
+// replaying GPS departures that occur inside the interval.
+func (w *WFQ) advance(t float64) {
+	if t < w.lastT {
+		panic(fmt.Sprintf("wfq: clock moved backwards: %v < %v", t, w.lastT))
+	}
+	for w.lastT < t {
+		if len(w.gps) == 0 {
+			w.lastT = t
+			return
+		}
+		f := w.gps[0]
+		// Real time needed for V to reach the next GPS flow-departure.
+		dt := (f.lastFinish - w.v) * w.sumPhi / w.rate.BitsPerSecond()
+		if w.lastT+dt > t {
+			w.v += (t - w.lastT) * w.rate.BitsPerSecond() / w.sumPhi
+			w.lastT = t
+			return
+		}
+		w.v = f.lastFinish
+		w.lastT += dt
+		// The flow's GPS backlog clears exactly now.
+		heap.Pop(&w.gps)
+		w.sumPhi -= f.phi
+	}
+	// System idle in GPS (gps heap may still be empty): nothing to do.
+	if len(w.gps) == 0 && w.len == 0 {
+		// Both systems idle: rebase virtual time so tags do not grow
+		// without bound over long runs.
+		w.v = 0
+		for i := range w.flows {
+			w.flows[i].lastFinish = 0
+		}
+	}
+}
+
+// Enqueue implements Scheduler.
+func (w *WFQ) Enqueue(p *packet.Packet) {
+	now := w.nowFn()
+	w.advance(now)
+	f := &w.flows[p.Flow]
+	start := w.v
+	if f.lastFinish > start {
+		start = f.lastFinish
+	}
+	finish := start + p.Size.Bits()/f.phi
+
+	wasGPSIdle := f.gpsIdx < 0
+	f.lastFinish = finish
+	f.q = append(f.q, taggedPacket{p: p, finish: finish})
+	w.len++
+	w.backlog += p.Size
+
+	if wasGPSIdle {
+		heap.Push(&w.gps, f)
+		w.sumPhi += f.phi
+	} else {
+		heap.Fix(&w.gps, f.gpsIdx)
+	}
+	if f.readyIdx < 0 {
+		heap.Push(&w.ready, f)
+	}
+	// Head tag unchanged if the flow already had packets, so no Fix is
+	// needed for the ready heap in that case.
+}
+
+// Dequeue implements Scheduler.
+func (w *WFQ) Dequeue() *packet.Packet {
+	if len(w.ready) == 0 {
+		return nil
+	}
+	w.advance(w.nowFn())
+	f := w.ready[0]
+	tp := f.q[f.qhead]
+	f.q[f.qhead].p = nil
+	f.qhead++
+	if f.qhead > 64 && f.qhead*2 >= len(f.q) {
+		n := copy(f.q, f.q[f.qhead:])
+		f.q = f.q[:n]
+		f.qhead = 0
+	}
+	w.len--
+	w.backlog -= tp.p.Size
+	if f.qhead >= len(f.q) {
+		heap.Pop(&w.ready)
+	} else {
+		heap.Fix(&w.ready, 0)
+	}
+	return tp.p
+}
+
+// Len implements Scheduler.
+func (w *WFQ) Len() int { return w.len }
+
+// Backlog implements Scheduler.
+func (w *WFQ) Backlog() units.Bytes { return w.backlog }
+
+// FlowBacklog returns the queued packets of one flow.
+func (w *WFQ) FlowBacklog(flow int) int {
+	f := &w.flows[flow]
+	return len(f.q) - f.qhead
+}
+
+// readyHeap orders flows by head-packet finish tag.
+type readyHeap []*wfqFlow
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	return h[i].q[h[i].qhead].finish < h[j].q[h[j].qhead].finish
+}
+func (h readyHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].readyIdx = i
+	h[j].readyIdx = j
+}
+func (h *readyHeap) Push(x any) {
+	f := x.(*wfqFlow)
+	f.readyIdx = len(*h)
+	*h = append(*h, f)
+}
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	f.readyIdx = -1
+	*h = old[:n-1]
+	return f
+}
+
+// gpsHeap orders GPS-backlogged flows by their last (largest) finish tag,
+// i.e. the virtual time at which their GPS backlog clears.
+type gpsHeap []*wfqFlow
+
+func (h gpsHeap) Len() int           { return len(h) }
+func (h gpsHeap) Less(i, j int) bool { return h[i].lastFinish < h[j].lastFinish }
+func (h gpsHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].gpsIdx = i
+	h[j].gpsIdx = j
+}
+func (h *gpsHeap) Push(x any) {
+	f := x.(*wfqFlow)
+	f.gpsIdx = len(*h)
+	*h = append(*h, f)
+}
+func (h *gpsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	f.gpsIdx = -1
+	*h = old[:n-1]
+	return f
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// Property: under any interleaving of enqueues and dequeues with an
+// advancing clock, WFQ conserves packets (every enqueued packet is
+// dequeued exactly once, per-flow in FIFO order) and its Len/Backlog
+// counters never drift.
+func TestPropertyWFQConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const nflows = 3
+		now := 0.0
+		w := NewWFQ(units.MbitsPerSecond(10), func() float64 { return now },
+			[]units.Rate{units.Mbps, 2 * units.Mbps, 7 * units.Mbps})
+		seqs := make([]uint64, nflows)
+		nextOut := make([]uint64, nflows)
+		inFlight := 0
+		var backlog units.Bytes
+		for _, op := range ops {
+			now += float64(op%7) * 1e-4
+			flow := int(op) % nflows
+			if op%3 == 0 && inFlight > 0 {
+				p := w.Dequeue()
+				if p == nil {
+					return false
+				}
+				if p.Seq != nextOut[p.Flow] {
+					return false // per-flow FIFO order violated
+				}
+				nextOut[p.Flow]++
+				inFlight--
+				backlog -= p.Size
+			} else {
+				size := units.Bytes(op%1400) + 100
+				w.Enqueue(&packet.Packet{Flow: flow, Size: size, Seq: seqs[flow]})
+				seqs[flow]++
+				inFlight++
+				backlog += size
+			}
+			if w.Len() != inFlight || w.Backlog() != backlog {
+				return false
+			}
+		}
+		// Drain: everything comes out, in per-flow order.
+		for p := w.Dequeue(); p != nil; p = w.Dequeue() {
+			if p.Seq != nextOut[p.Flow] {
+				return false
+			}
+			nextOut[p.Flow]++
+			inFlight--
+		}
+		if inFlight != 0 || w.Len() != 0 || w.Backlog() != 0 {
+			return false
+		}
+		for i := 0; i < nflows; i++ {
+			if nextOut[i] != seqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the virtual clock never runs backwards under random
+// operation sequences (monotone except the documented idle rebase to
+// zero).
+func TestPropertyWFQVirtualTimeMonotone(t *testing.T) {
+	f := func(ops []uint16) bool {
+		now := 0.0
+		w := NewWFQ(units.MbitsPerSecond(10), func() float64 { return now },
+			[]units.Rate{units.Mbps, 9 * units.Mbps})
+		var seq uint64
+		lastV := 0.0
+		for _, op := range ops {
+			now += float64(op%5) * 1e-4
+			if op%2 == 0 {
+				w.Enqueue(&packet.Packet{Flow: int(op) % 2, Size: units.Bytes(op%900) + 100, Seq: seq})
+				seq++
+			} else {
+				w.Dequeue()
+			}
+			v := w.VirtualTime()
+			if v < lastV-1e-9 && v != 0 {
+				return false
+			}
+			lastV = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

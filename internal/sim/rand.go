@@ -1,0 +1,32 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a deterministic pseudo-random source for the given
+// seed. Every stochastic component in the simulator receives its own
+// source so that adding a component never perturbs the random streams of
+// the others.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// DeriveSeed combines a run-level seed with a component identifier into
+// a stream-specific seed. The mixing uses splitmix64 so that nearby
+// (seed, id) pairs produce uncorrelated streams.
+func DeriveSeed(seed int64, id int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Exponential draws an exponentially distributed value with the given
+// mean from r. A zero or negative mean returns 0, which lets callers
+// express degenerate (always-on or always-off) sources naturally.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}

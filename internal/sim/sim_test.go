@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, at := range []float64{3, 1, 2, 0.5, 2.5} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.Run(0)
+	want := []float64{0.5, 1, 2, 2.5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: position %d got event %d", i, v)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	s.At(5, func() {
+		if s.Now() != 5 {
+			t.Errorf("Now() = %v inside event at t=5", s.Now())
+		}
+	})
+	s.Run(0)
+	if s.Now() != 5 {
+		t.Errorf("final Now() = %v, want 5", s.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at float64
+	s.At(2, func() {
+		s.After(3, func() { at = s.Now() })
+	})
+	s.Run(0)
+	if at != 5 {
+		t.Errorf("After(3) from t=2 fired at %v, want 5", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	e.Cancel()
+	s.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Steps() != 0 {
+		t.Errorf("Steps() = %d, want 0", s.Steps())
+	}
+}
+
+func TestCancelInsideEarlierEvent(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(2, func() { fired = true })
+	s.At(1, func() { e.Cancel() })
+	s.Run(0)
+	if fired {
+		t.Error("event cancelled at t=1 still fired at t=2")
+	}
+}
+
+func TestRunUntilStopsAndSetsClock(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=2.5, want 2", len(fired))
+	}
+	if s.Now() != 2.5 {
+		t.Errorf("Now() = %v after RunUntil(2.5)", s.Now())
+	}
+	s.RunUntil(10)
+	if len(fired) != 4 {
+		t.Errorf("fired %d events total, want 4", len(fired))
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now() = %v after RunUntil(10)", s.Now())
+	}
+}
+
+func TestRunUntilIncludesBoundary(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(2, func() { fired = true })
+	s.RunUntil(2)
+	if !fired {
+		t.Error("event at exactly the RunUntil boundary did not fire")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", bad)
+				}
+			}()
+			New().At(bad, func() {})
+		}()
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestRunawayGuard(t *testing.T) {
+	s := New()
+	var loop func()
+	loop = func() { s.After(0.001, loop) }
+	s.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("infinite event chain did not trip the budget guard")
+		}
+	}()
+	s.Run(1000)
+}
+
+func TestEventsScheduledDuringRunExecute(t *testing.T) {
+	s := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			s.After(1, chain)
+		}
+	}
+	s.After(1, chain)
+	s.Run(0)
+	if count != 5 {
+		t.Errorf("chained events executed %d times, want 5", count)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", s.Now())
+	}
+}
+
+func TestPendingReflectsQueue(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	if !e.Pending() {
+		t.Error("event should report pending")
+	}
+	s.Run(0)
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain", s.Pending())
+	}
+	if e.Pending() {
+		t.Error("fired event still reports pending")
+	}
+}
+
+// Property: for any set of non-negative event offsets, events fire in
+// non-decreasing time order and all of them fire.
+func TestPropertyOrderedExecution(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var fired []float64
+		for _, o := range offsets {
+			at := float64(o) / 100
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run(0)
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		for id := 0; id < 100; id++ {
+			v := DeriveSeed(seed, id)
+			if seen[v] {
+				t.Fatalf("duplicate derived seed for (%d,%d)", seed, id)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Error("DeriveSeed is not deterministic")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Exponential(r, 2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("empirical mean %v, want 2.5±0.05", mean)
+	}
+}
+
+func TestExponentialDegenerate(t *testing.T) {
+	r := NewRand(1)
+	if Exponential(r, 0) != 0 || Exponential(r, -1) != 0 {
+		t.Error("non-positive mean should return 0")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

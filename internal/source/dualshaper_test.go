@@ -1,0 +1,153 @@
+package source
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/units"
+)
+
+func dualSpec() packet.FlowSpec {
+	return packet.FlowSpec{
+		PeakRate:   units.MbitsPerSecond(16),
+		TokenRate:  units.MbitsPerSecond(2),
+		BucketSize: units.KiloBytes(50),
+	}
+}
+
+func TestDualShaperOutputConformsToBothEnvelopes(t *testing.T) {
+	s := sim.New()
+	rec := NewRecorder(s)
+	spec := dualSpec()
+	sh := NewDualShaper(s, spec, 500, rec)
+	src := NewOnOff(s, sim.NewRand(4), OnOffConfig{
+		Flow: 0, PacketSize: 500,
+		PeakRate:  units.MbitsPerSecond(40),
+		AvgRate:   units.MbitsPerSecond(8),
+		MeanBurst: units.KiloBytes(200),
+	}, sh)
+	src.Start()
+	s.RunUntil(20)
+	if len(rec.Packets) < 100 {
+		t.Fatalf("too few packets: %d", len(rec.Packets))
+	}
+	// (σ, ρ) envelope.
+	if err := rec.ConformsTo(spec, 0); err != nil {
+		t.Errorf("token envelope violated: %v", err)
+	}
+	// Peak envelope: one-MTU bucket at rate P.
+	peakSpec := packet.FlowSpec{TokenRate: spec.PeakRate, BucketSize: 500}
+	if err := rec.ConformsTo(peakSpec, 0); err != nil {
+		t.Errorf("peak envelope violated: %v", err)
+	}
+}
+
+func TestDualShaperNoInstantBurst(t *testing.T) {
+	// Unlike the plain Shaper, the dual shaper must NOT release the σ
+	// backlog instantaneously: consecutive packets are spaced at least
+	// one packet time at the peak rate.
+	s := sim.New()
+	rec := NewRecorder(s)
+	sh := NewDualShaper(s, dualSpec(), 500, rec)
+	for i := 0; i < 20; i++ {
+		sh.Receive(&packet.Packet{Flow: 0, Size: 500, Seq: uint64(i)})
+	}
+	s.Run(0)
+	if len(rec.Packets) != 20 {
+		t.Fatalf("delivered %d of 20", len(rec.Packets))
+	}
+	minGap := units.TransmissionTime(500, units.MbitsPerSecond(16))
+	for i := 1; i < len(rec.Times); i++ {
+		if gap := rec.Times[i] - rec.Times[i-1]; gap < minGap-1e-12 {
+			t.Fatalf("packets %d,%d spaced %v < peak packet time %v", i-1, i, gap, minGap)
+		}
+	}
+}
+
+func TestDualShaperLongRunRate(t *testing.T) {
+	s := sim.New()
+	rec := NewRecorder(s)
+	sh := NewDualShaper(s, dualSpec(), 500, rec)
+	src := NewCBR(s, 0, 500, units.MbitsPerSecond(16), sh)
+	src.Start()
+	const dur = 20.0
+	s.RunUntil(dur)
+	rate := rec.TotalBytes().Bits() / dur
+	if rate > 2e6*1.03 || rate < 2e6*0.95 {
+		t.Errorf("long-run rate %.4g, want ≈ token rate 2e6", rate)
+	}
+}
+
+func TestDualShaperMarksConformant(t *testing.T) {
+	s := sim.New()
+	rec := NewRecorder(s)
+	sh := NewDualShaper(s, dualSpec(), 500, rec)
+	sh.Receive(&packet.Packet{Flow: 0, Size: 500})
+	s.Run(0)
+	if !rec.Packets[0].Conformant {
+		t.Error("dual shaper output not marked conformant")
+	}
+}
+
+func TestDualShaperValidation(t *testing.T) {
+	s := sim.New()
+	rec := NewRecorder(s)
+	noPeak := packet.FlowSpec{TokenRate: units.Mbps, BucketSize: 1000}
+	for i, f := range []func(){
+		func() { NewDualShaper(s, noPeak, 500, rec) },
+		func() { NewDualShaper(s, dualSpec(), 0, rec) },
+		func() { NewDualShaper(s, packet.FlowSpec{}, 500, rec) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// Oversize packets panic at Receive time.
+	sh := NewDualShaper(s, dualSpec(), 500, rec)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize packet did not panic")
+		}
+	}()
+	sh.Receive(&packet.Packet{Size: 600})
+}
+
+// Property: dual-shaper output satisfies the peak envelope for random
+// input patterns.
+func TestPropertyDualShaperPeakEnvelope(t *testing.T) {
+	spec := packet.FlowSpec{
+		PeakRate:   units.MbitsPerSecond(10),
+		TokenRate:  units.MbitsPerSecond(2),
+		BucketSize: 3000,
+	}
+	f := func(sizes []uint16, gaps []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		s := sim.New()
+		rec := NewRecorder(s)
+		sh := NewDualShaper(s, spec, 1500, rec)
+		at := 0.0
+		for i, raw := range sizes {
+			size := units.Bytes(raw%1400) + 100
+			if i < len(gaps) {
+				at += float64(gaps[i]) / 1e5
+			}
+			p := &packet.Packet{Flow: 0, Size: size, Seq: uint64(i)}
+			s.At(at, func() { sh.Receive(p) })
+		}
+		s.Run(0)
+		peakSpec := packet.FlowSpec{TokenRate: spec.PeakRate, BucketSize: 1500}
+		return rec.ConformsTo(spec, 0) == nil && rec.ConformsTo(peakSpec, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

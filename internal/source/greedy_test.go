@@ -1,0 +1,82 @@
+package source
+
+import (
+	"testing"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/units"
+)
+
+// sinkToManager admits packets straight into a manager, standing in for
+// a link in unit tests.
+type sinkToManager struct {
+	mgr  buffer.Manager
+	held []*packet.Packet
+}
+
+func (s *sinkToManager) Receive(p *packet.Packet) {
+	if s.mgr.Admit(p.Flow, p.Size) {
+		s.held = append(s.held, p)
+	}
+}
+
+func TestFeedbackGreedyFillsToThreshold(t *testing.T) {
+	s := sim.New()
+	mgr := buffer.NewFixedThreshold(10000, []units.Bytes{4000, 6000})
+	sink := &sinkToManager{mgr: mgr}
+	g := NewFeedbackGreedy(s, 0, 500, mgr, sink)
+	g.Kick()
+	if mgr.Occupancy(0) != 4000 {
+		t.Errorf("occupancy %v after kick, want threshold 4000", mgr.Occupancy(0))
+	}
+	if g.Injected != 8 {
+		t.Errorf("injected %d packets, want 8", g.Injected)
+	}
+}
+
+func TestFeedbackGreedyTopsUpAfterRelease(t *testing.T) {
+	s := sim.New()
+	mgr := buffer.NewFixedThreshold(10000, []units.Bytes{4000, 6000})
+	sink := &sinkToManager{mgr: mgr}
+	g := NewFeedbackGreedy(s, 0, 500, mgr, sink)
+	g.Kick()
+	mgr.Release(0, 1000)
+	g.DepartureHook()(nil)
+	if mgr.Occupancy(0) != 4000 {
+		t.Errorf("occupancy %v after top-up, want 4000", mgr.Occupancy(0))
+	}
+}
+
+func TestFeedbackGreedyIdempotentWhenFull(t *testing.T) {
+	s := sim.New()
+	mgr := buffer.NewFixedThreshold(10000, []units.Bytes{4000, 6000})
+	sink := &sinkToManager{mgr: mgr}
+	g := NewFeedbackGreedy(s, 0, 500, mgr, sink)
+	g.Kick()
+	before := g.Injected
+	g.Kick()
+	if g.Injected != before {
+		t.Error("kick at threshold injected packets")
+	}
+}
+
+func TestFeedbackGreedyValidation(t *testing.T) {
+	s := sim.New()
+	mgr := buffer.NewTailDrop(1000, 1)
+	for i, f := range []func(){
+		func() { NewFeedbackGreedy(s, 0, 0, mgr, &sinkToManager{mgr: mgr}) },
+		func() { NewFeedbackGreedy(s, 0, 500, nil, &sinkToManager{mgr: mgr}) },
+		func() { NewFeedbackGreedy(s, 0, 500, mgr, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// DelayTracker accumulates queueing-delay statistics for one flow (or
+// an aggregate): count, mean, maximum, and an exact reservoir-free
+// record when small, switching to a fixed-resolution histogram when the
+// sample count grows. The paper's §1 argues worst-case FIFO delay is
+// bounded by B/R ("a 1MByte buffer feeding an OC-48 link is less than
+// 3.5msec"); this tracker lets experiments check that bound.
+type DelayTracker struct {
+	count int64
+	sum   float64
+	max   float64
+	min   float64
+	// exact holds raw samples up to exactLimit, after which quantiles
+	// come from the histogram.
+	exact      []float64
+	exactLimit int
+	// histogram over [0, histMax) with fixed-width bins, plus an
+	// overflow bin.
+	histMax float64
+	bins    []int64
+	over    int64
+}
+
+// NewDelayTracker returns a tracker keeping up to 4096 exact samples
+// and a 1024-bin histogram up to histMax seconds (pass 0 for a 1 s
+// default).
+func NewDelayTracker(histMax float64) *DelayTracker {
+	if histMax <= 0 {
+		histMax = 1.0
+	}
+	return &DelayTracker{
+		min:        math.Inf(1),
+		exactLimit: 4096,
+		histMax:    histMax,
+		bins:       make([]int64, 1024),
+	}
+}
+
+// Add records one delay sample (seconds). Negative samples panic: a
+// negative queueing delay is always a harness bug.
+func (d *DelayTracker) Add(delay float64) {
+	if delay < 0 {
+		panic("stats: negative delay sample")
+	}
+	d.count++
+	d.sum += delay
+	if delay > d.max {
+		d.max = delay
+	}
+	if delay < d.min {
+		d.min = delay
+	}
+	if len(d.exact) < d.exactLimit {
+		d.exact = append(d.exact, delay)
+	}
+	if delay >= d.histMax {
+		d.over++
+		return
+	}
+	idx := int(delay / d.histMax * float64(len(d.bins)))
+	d.bins[idx]++
+}
+
+// Count returns the number of samples.
+func (d *DelayTracker) Count() int64 { return d.count }
+
+// Mean returns the average delay, 0 when empty.
+func (d *DelayTracker) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// Max returns the worst observed delay, 0 when empty.
+func (d *DelayTracker) Max() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.max
+}
+
+// Min returns the smallest observed delay, 0 when empty.
+func (d *DelayTracker) Min() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.min
+}
+
+// Quantile returns the q-quantile of the recorded delays. While the
+// sample count is within the exact window the answer is exact;
+// afterwards it is approximated from the histogram (bin upper edge).
+func (d *DelayTracker) Quantile(q float64) float64 {
+	if d.count == 0 {
+		return math.NaN()
+	}
+	if int64(len(d.exact)) == d.count {
+		v := append([]float64(nil), d.exact...)
+		sort.Float64s(v)
+		return Quantile(v, q)
+	}
+	if q >= 1 {
+		return d.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := int64(q * float64(d.count))
+	var cum int64
+	for i, n := range d.bins {
+		cum += n
+		if cum > target {
+			return float64(i+1) / float64(len(d.bins)) * d.histMax
+		}
+	}
+	return d.max
+}

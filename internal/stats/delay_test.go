@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bufqos/internal/packet"
+)
+
+func TestDelayTrackerBasics(t *testing.T) {
+	d := NewDelayTracker(1)
+	for _, v := range []float64{0.001, 0.003, 0.002} {
+		d.Add(v)
+	}
+	if d.Count() != 3 {
+		t.Errorf("count = %d", d.Count())
+	}
+	if math.Abs(d.Mean()-0.002) > 1e-12 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Max() != 0.003 || d.Min() != 0.001 {
+		t.Errorf("max/min = %v/%v", d.Max(), d.Min())
+	}
+}
+
+func TestDelayTrackerEmpty(t *testing.T) {
+	d := NewDelayTracker(0)
+	if d.Mean() != 0 || d.Max() != 0 || d.Min() != 0 {
+		t.Error("empty tracker should report zeros")
+	}
+	if !math.IsNaN(d.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestDelayTrackerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewDelayTracker(1).Add(-0.001)
+}
+
+func TestDelayTrackerExactQuantiles(t *testing.T) {
+	d := NewDelayTracker(1)
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i) / 1000)
+	}
+	if got := d.Quantile(0.5); math.Abs(got-0.0505) > 1e-9 {
+		t.Errorf("median = %v, want 0.0505", got)
+	}
+	if got := d.Quantile(1); got != 0.1 {
+		t.Errorf("q1 = %v, want max", got)
+	}
+}
+
+func TestDelayTrackerHistogramFallback(t *testing.T) {
+	d := NewDelayTracker(1)
+	d.exactLimit = 10 // force the histogram path quickly
+	for i := 0; i < 10000; i++ {
+		d.Add(float64(i%100) / 100) // uniform over [0, 0.99]
+	}
+	med := d.Quantile(0.5)
+	if med < 0.45 || med > 0.55 {
+		t.Errorf("approx median = %v, want ≈ 0.5", med)
+	}
+	p99 := d.Quantile(0.99)
+	if p99 < 0.95 {
+		t.Errorf("p99 = %v, want ≈ 0.99", p99)
+	}
+}
+
+func TestDelayTrackerOverflowBin(t *testing.T) {
+	d := NewDelayTracker(0.01)
+	d.exactLimit = 1
+	d.Add(0.5) // above histMax
+	d.Add(0.5)
+	if d.Quantile(0.9) != d.Max() {
+		t.Errorf("overflow quantile = %v, want max", d.Quantile(0.9))
+	}
+}
+
+func TestCollectorDelayIntegration(t *testing.T) {
+	c := NewCollector(2, 1.0)
+	c.EnableDelays(1)
+	p := &packet.Packet{Flow: 0, Size: 500, Arrived: 2.0}
+	c.Departed(p, 2.004)
+	if got := c.Delays(0).Max(); math.Abs(got-0.004) > 1e-12 {
+		t.Errorf("recorded delay %v, want 0.004", got)
+	}
+	if c.MaxDelay() != c.Delays(0).Max() {
+		t.Error("MaxDelay mismatch")
+	}
+	// Warmup filtering applies to delays too.
+	early := &packet.Packet{Flow: 1, Size: 500, Arrived: 0.1}
+	c.Departed(early, 0.2)
+	if c.Delays(1).Count() != 0 {
+		t.Error("warmup departure recorded a delay")
+	}
+}
+
+func TestCollectorDelaysDisabled(t *testing.T) {
+	c := NewCollector(1, 0)
+	if c.Delays(0) != nil {
+		t.Error("Delays should be nil before EnableDelays")
+	}
+	if c.MaxDelay() != 0 {
+		t.Error("MaxDelay should be 0 when disabled")
+	}
+	// Departed must not crash with tracking off.
+	c.Departed(&packet.Packet{Flow: 0, Size: 500}, 1)
+}
+
+// Property: mean ≤ max, min ≤ mean, and quantiles are monotone in q.
+func TestPropertyDelayTracker(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := NewDelayTracker(1)
+		for _, r := range raw {
+			d.Add(float64(r) / 65536)
+		}
+		if d.Mean() > d.Max()+1e-12 || d.Min() > d.Mean()+1e-12 {
+			return false
+		}
+		last := -1.0
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := d.Quantile(q)
+			if v < last-1e-12 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

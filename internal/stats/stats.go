@@ -1,0 +1,302 @@
+// Package stats collects per-flow traffic statistics during a
+// simulation run and aggregates results across independent runs.
+//
+// The paper reports aggregate throughput, per-flow loss for conformant
+// traffic, and per-flow throughput for non-conformant flows, each
+// averaged over 5 runs with 95% confidence intervals. This package
+// implements exactly those measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// Counter accumulates a packet count and a byte count.
+type Counter struct {
+	Packets int64
+	Bytes   units.Bytes
+}
+
+// Add records one packet of the given size.
+func (c *Counter) Add(size units.Bytes) {
+	c.Packets++
+	c.Bytes += size
+}
+
+// ColorCounter splits a counter by the conformance color of packets.
+type ColorCounter struct {
+	Conformant Counter
+	Excess     Counter
+}
+
+// Add records p in the sub-counter matching its color.
+func (c *ColorCounter) Add(p *packet.Packet) {
+	if p.Conformant {
+		c.Conformant.Add(p.Size)
+	} else {
+		c.Excess.Add(p.Size)
+	}
+}
+
+// Total returns the color-blind sum.
+func (c *ColorCounter) Total() Counter {
+	return Counter{
+		Packets: c.Conformant.Packets + c.Excess.Packets,
+		Bytes:   c.Conformant.Bytes + c.Excess.Bytes,
+	}
+}
+
+// FlowStats holds the per-flow counters of one simulation run.
+type FlowStats struct {
+	// Offered counts packets that reached the multiplexer.
+	Offered ColorCounter
+	// Dropped counts packets rejected by the buffer manager.
+	Dropped ColorCounter
+	// Departed counts packets fully transmitted on the output link.
+	Departed ColorCounter
+}
+
+// Collector gathers statistics for all flows of one run. Recording
+// starts only after the warm-up time so transients do not bias the
+// steady-state measurements.
+type Collector struct {
+	warmup float64
+	flows  []*FlowStats
+	delays []*DelayTracker // nil unless EnableDelays was called
+}
+
+// NewCollector returns a collector for nflows flows that ignores all
+// events before warmup (simulated seconds).
+func NewCollector(nflows int, warmup float64) *Collector {
+	c := &Collector{warmup: warmup, flows: make([]*FlowStats, nflows)}
+	for i := range c.flows {
+		c.flows[i] = &FlowStats{}
+	}
+	return c
+}
+
+// Warmup returns the warm-up boundary.
+func (c *Collector) Warmup() float64 { return c.warmup }
+
+// Flow returns the statistics of one flow.
+func (c *Collector) Flow(id int) *FlowStats { return c.flows[id] }
+
+// NumFlows returns the number of flows tracked.
+func (c *Collector) NumFlows() int { return len(c.flows) }
+
+// Offered records a packet arrival at the multiplexer at time now.
+func (c *Collector) Offered(p *packet.Packet, now float64) {
+	if now >= c.warmup {
+		c.flows[p.Flow].Offered.Add(p)
+	}
+}
+
+// Dropped records a buffer-manager rejection at time now.
+func (c *Collector) Dropped(p *packet.Packet, now float64) {
+	if now >= c.warmup {
+		c.flows[p.Flow].Dropped.Add(p)
+	}
+}
+
+// Departed records a completed transmission at time now. When delay
+// tracking is enabled, the packet's multiplexer queueing delay
+// (now − Arrived) is recorded too.
+func (c *Collector) Departed(p *packet.Packet, now float64) {
+	if now >= c.warmup {
+		c.flows[p.Flow].Departed.Add(p)
+		if c.delays != nil {
+			c.delays[p.Flow].Add(now - p.Arrived)
+		}
+	}
+}
+
+// EnableDelays turns on per-flow queueing-delay tracking with the given
+// histogram ceiling (seconds; 0 for the 1 s default).
+func (c *Collector) EnableDelays(histMax float64) {
+	c.delays = make([]*DelayTracker, len(c.flows))
+	for i := range c.delays {
+		c.delays[i] = NewDelayTracker(histMax)
+	}
+}
+
+// Delays returns flow's delay tracker, or nil when tracking is off.
+func (c *Collector) Delays(flow int) *DelayTracker {
+	if c.delays == nil {
+		return nil
+	}
+	return c.delays[flow]
+}
+
+// MaxDelay returns the worst queueing delay across all flows, 0 when
+// tracking is off or no departures were seen.
+func (c *Collector) MaxDelay() float64 {
+	var worst float64
+	for _, d := range c.delays {
+		if d != nil && d.Max() > worst {
+			worst = d.Max()
+		}
+	}
+	return worst
+}
+
+// FlowThroughput returns the delivered rate of one flow over the
+// measurement interval [warmup, end].
+func (c *Collector) FlowThroughput(id int, end float64) units.Rate {
+	d := end - c.warmup
+	if d <= 0 {
+		return 0
+	}
+	return units.Rate(c.flows[id].Departed.Total().Bytes.Bits() / d)
+}
+
+// AggregateThroughput returns the total delivered rate over the
+// measurement interval [warmup, end].
+func (c *Collector) AggregateThroughput(end float64) units.Rate {
+	var total units.Bytes
+	for _, f := range c.flows {
+		total += f.Departed.Total().Bytes
+	}
+	d := end - c.warmup
+	if d <= 0 {
+		return 0
+	}
+	return units.Rate(total.Bits() / d)
+}
+
+// ConformantLossRatio returns dropped/offered for conformant traffic of
+// the given flows (all flows when ids is empty). A flow set with no
+// conformant offered traffic reports 0.
+func (c *Collector) ConformantLossRatio(ids ...int) float64 {
+	if len(ids) == 0 {
+		ids = make([]int, len(c.flows))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	var dropped, offered units.Bytes
+	for _, id := range ids {
+		dropped += c.flows[id].Dropped.Conformant.Bytes
+		offered += c.flows[id].Offered.Conformant.Bytes
+	}
+	if offered == 0 {
+		return 0
+	}
+	return float64(dropped) / float64(offered)
+}
+
+// LossRatio returns total dropped/offered bytes for the given flows
+// (all flows when ids is empty).
+func (c *Collector) LossRatio(ids ...int) float64 {
+	if len(ids) == 0 {
+		ids = make([]int, len(c.flows))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	var dropped, offered units.Bytes
+	for _, id := range ids {
+		dropped += c.flows[id].Dropped.Total().Bytes
+		offered += c.flows[id].Offered.Total().Bytes
+	}
+	if offered == 0 {
+		return 0
+	}
+	return float64(dropped) / float64(offered)
+}
+
+// Summary is the cross-run aggregate of one scalar measurement.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	HalfCI95 float64 // half-width of the 95% confidence interval
+}
+
+// String formats the summary as "mean ± ci".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.HalfCI95)
+}
+
+// RelativeCI returns HalfCI95/|Mean|, the precision measure the paper
+// quotes ("confidence intervals ... within 10% of the results"). A zero
+// mean reports 0 when the half-width is also zero, +Inf otherwise.
+func (s Summary) RelativeCI() float64 {
+	if s.Mean == 0 {
+		if s.HalfCI95 == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s.HalfCI95 / math.Abs(s.Mean)
+}
+
+// Summarize computes mean, sample standard deviation, and the 95%
+// Student-t confidence half-width of the values.
+func Summarize(values []float64) Summary {
+	n := len(values)
+	if n == 0 {
+		return Summary{}
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	ss := 0.0
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	ci := tQuantile95(n-1) * sd / math.Sqrt(float64(n))
+	return Summary{N: n, Mean: mean, StdDev: sd, HalfCI95: ci}
+}
+
+// tQuantile95 returns the two-sided 95% Student-t quantile for the given
+// degrees of freedom.
+func tQuantile95(df int) float64 {
+	// Two-sided 0.975 quantiles for df = 1..30.
+	table := []float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960 // normal approximation for large df
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of values using linear
+// interpolation. It copies and sorts its input.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	if q <= 0 {
+		return v[0]
+	}
+	if q >= 1 {
+		return v[len(v)-1]
+	}
+	pos := q * float64(len(v)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(v) {
+		return v[len(v)-1]
+	}
+	return v[lo]*(1-frac) + v[lo+1]*frac
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+func pkt(flow int, size units.Bytes, conf bool) *packet.Packet {
+	return &packet.Packet{Flow: flow, Size: size, Conformant: conf}
+}
+
+func TestCounterAdd(t *testing.T) {
+	var c Counter
+	c.Add(500)
+	c.Add(300)
+	if c.Packets != 2 || c.Bytes != 800 {
+		t.Errorf("counter = %+v, want {2 800}", c)
+	}
+}
+
+func TestColorCounter(t *testing.T) {
+	var c ColorCounter
+	c.Add(pkt(0, 500, true))
+	c.Add(pkt(0, 300, false))
+	c.Add(pkt(0, 200, false))
+	if c.Conformant.Bytes != 500 || c.Excess.Bytes != 500 {
+		t.Errorf("split = %+v", c)
+	}
+	total := c.Total()
+	if total.Packets != 3 || total.Bytes != 1000 {
+		t.Errorf("total = %+v, want {3 1000}", total)
+	}
+}
+
+func TestCollectorWarmupFilter(t *testing.T) {
+	c := NewCollector(1, 5.0)
+	c.Offered(pkt(0, 100, true), 4.999) // before warmup: ignored
+	c.Offered(pkt(0, 100, true), 5.0)   // at boundary: counted
+	c.Offered(pkt(0, 100, true), 6.0)
+	if got := c.Flow(0).Offered.Total().Packets; got != 2 {
+		t.Errorf("offered packets = %d, want 2", got)
+	}
+}
+
+func TestCollectorThroughput(t *testing.T) {
+	c := NewCollector(2, 1.0)
+	// Flow 0 delivers 1,000,000 bytes over [1, 9]: 1 Mbps.
+	for i := 0; i < 2000; i++ {
+		c.Departed(pkt(0, 500, true), 2.0)
+	}
+	got := c.FlowThroughput(0, 9.0)
+	if math.Abs(got.Mbits()-1.0) > 1e-9 {
+		t.Errorf("flow throughput = %v, want 1Mb/s", got)
+	}
+	agg := c.AggregateThroughput(9.0)
+	if agg != got {
+		t.Errorf("aggregate %v != flow0 %v with one active flow", agg, got)
+	}
+}
+
+func TestThroughputDegenerateInterval(t *testing.T) {
+	c := NewCollector(1, 5.0)
+	if c.FlowThroughput(0, 5.0) != 0 || c.AggregateThroughput(4.0) != 0 {
+		t.Error("degenerate measurement interval should report 0")
+	}
+}
+
+func TestConformantLossRatio(t *testing.T) {
+	c := NewCollector(2, 0)
+	// Flow 0: 4 conformant offered, 1 dropped -> 25% conformant loss.
+	for i := 0; i < 4; i++ {
+		c.Offered(pkt(0, 500, true), 1)
+	}
+	c.Dropped(pkt(0, 500, true), 1)
+	// Flow 1 excess traffic must not affect the conformant ratio.
+	c.Offered(pkt(1, 500, false), 1)
+	c.Dropped(pkt(1, 500, false), 1)
+
+	if got := c.ConformantLossRatio(0); got != 0.25 {
+		t.Errorf("flow 0 conformant loss = %v, want 0.25", got)
+	}
+	if got := c.ConformantLossRatio(); got != 0.25 {
+		t.Errorf("all-flow conformant loss = %v, want 0.25 (flow 1 has no conformant traffic)", got)
+	}
+	if got := c.ConformantLossRatio(1); got != 0 {
+		t.Errorf("flow 1 conformant loss = %v, want 0", got)
+	}
+}
+
+func TestLossRatioAllTraffic(t *testing.T) {
+	c := NewCollector(1, 0)
+	c.Offered(pkt(0, 500, true), 1)
+	c.Offered(pkt(0, 500, false), 1)
+	c.Dropped(pkt(0, 500, false), 1)
+	if got := c.LossRatio(0); got != 0.5 {
+		t.Errorf("loss ratio = %v, want 0.5", got)
+	}
+	if got := c.LossRatio(); got != 0.5 {
+		t.Errorf("default-ids loss ratio = %v, want 0.5", got)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample sd of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("sd = %v, want %v", s.StdDev, want)
+	}
+	if s.HalfCI95 <= 0 {
+		t.Errorf("ci = %v, want > 0", s.HalfCI95)
+	}
+}
+
+func TestSummarizeFiveRuns(t *testing.T) {
+	// n=5 is the paper's run count; t(4, 0.975) = 2.776.
+	vals := []float64{10, 11, 9, 10.5, 9.5}
+	s := Summarize(vals)
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	sd := s.StdDev
+	want := 2.776 * sd / math.Sqrt(5)
+	if math.Abs(s.HalfCI95-want) > 1e-12 {
+		t.Errorf("ci = %v, want %v", s.HalfCI95, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summarize = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.HalfCI95 != 0 {
+		t.Errorf("single-value summarize = %+v", s)
+	}
+}
+
+func TestRelativeCI(t *testing.T) {
+	s := Summary{Mean: 10, HalfCI95: 1}
+	if s.RelativeCI() != 0.1 {
+		t.Errorf("RelativeCI = %v, want 0.1", s.RelativeCI())
+	}
+	z := Summary{Mean: 0, HalfCI95: 0}
+	if z.RelativeCI() != 0 {
+		t.Errorf("zero/zero RelativeCI = %v, want 0", z.RelativeCI())
+	}
+	inf := Summary{Mean: 0, HalfCI95: 1}
+	if !math.IsInf(inf.RelativeCI(), 1) {
+		t.Errorf("x/0 RelativeCI = %v, want +Inf", inf.RelativeCI())
+	}
+}
+
+func TestTQuantileTable(t *testing.T) {
+	if got := tQuantile95(4); got != 2.776 {
+		t.Errorf("t(4) = %v, want 2.776", got)
+	}
+	if got := tQuantile95(100); got != 1.960 {
+		t.Errorf("t(100) = %v, want 1.960", got)
+	}
+	if !math.IsNaN(tQuantile95(0)) {
+		t.Error("t(0) should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty slice should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Quantile(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Errorf("input mutated: %v", v)
+	}
+}
+
+// Property: the sample mean lies within the data range, and CI width is
+// non-negative.
+func TestPropertySummarize(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vals[i] = float64(r)
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		s := Summarize(vals)
+		return s.Mean >= lo-1e-9 && s.Mean <= hi+1e-9 && s.HalfCI95 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package trace provides observation helpers for simulations: a
+// periodic sampler that turns instantaneous state (queue occupancies,
+// sharing-pool levels) into time series, and a per-packet event log.
+// The paper's Example 1 dynamics — the greedy flow pinning its share
+// while the conformant flow's occupancy converges — are directly
+// visible through these.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+)
+
+// Sampler periodically evaluates a probe function and stores the
+// samples as rows of a time series.
+type Sampler struct {
+	sim      *sim.Simulator
+	interval float64
+	probe    func() []float64
+	labels   []string
+	times    []float64
+	rows     [][]float64
+	stopped  bool
+}
+
+// NewSampler creates a sampler that calls probe every interval seconds
+// once started. labels name the probe's columns.
+func NewSampler(s *sim.Simulator, interval float64, labels []string, probe func() []float64) *Sampler {
+	if interval <= 0 {
+		panic(fmt.Sprintf("trace: non-positive sample interval %v", interval))
+	}
+	if probe == nil {
+		panic("trace: nil probe")
+	}
+	return &Sampler{sim: s, interval: interval, probe: probe, labels: labels}
+}
+
+// Start begins sampling at the current time; sampling continues until
+// Stop or the event queue drains.
+func (sa *Sampler) Start() {
+	sa.sample()
+}
+
+// Stop halts future samples.
+func (sa *Sampler) Stop() { sa.stopped = true }
+
+func (sa *Sampler) sample() {
+	if sa.stopped {
+		return
+	}
+	row := sa.probe()
+	if len(sa.labels) > 0 && len(row) != len(sa.labels) {
+		panic(fmt.Sprintf("trace: probe returned %d values for %d labels", len(row), len(sa.labels)))
+	}
+	sa.times = append(sa.times, sa.sim.Now())
+	sa.rows = append(sa.rows, append([]float64(nil), row...))
+	sa.sim.After(sa.interval, sa.sample)
+}
+
+// Len returns the number of samples taken.
+func (sa *Sampler) Len() int { return len(sa.rows) }
+
+// Times returns the sample instants.
+func (sa *Sampler) Times() []float64 { return sa.times }
+
+// Column returns one column of the series by label; false when absent.
+func (sa *Sampler) Column(label string) ([]float64, bool) {
+	for i, l := range sa.labels {
+		if l == label {
+			col := make([]float64, len(sa.rows))
+			for r, row := range sa.rows {
+				col[r] = row[i]
+			}
+			return col, true
+		}
+	}
+	return nil, false
+}
+
+// WriteCSV emits "time,<labels...>" rows.
+func (sa *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "time,%s\n", strings.Join(sa.labels, ",")); err != nil {
+		return err
+	}
+	for i, at := range sa.times {
+		parts := make([]string, 0, len(sa.rows[i])+1)
+		parts = append(parts, fmt.Sprintf("%g", at))
+		for _, v := range sa.rows[i] {
+			parts = append(parts, fmt.Sprintf("%g", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EventKind classifies packet-log entries.
+type EventKind uint8
+
+const (
+	// EventOffered marks a packet reaching the stage the Tee wraps.
+	EventOffered EventKind = iota
+	// EventDeparted marks a completed transmission (via DepartHook).
+	EventDeparted
+	// EventDropped marks a rejection (via DropHook).
+	EventDropped
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventOffered:
+		return "offered"
+	case EventDeparted:
+		return "departed"
+	case EventDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one packet-log record.
+type Event struct {
+	Time float64
+	Kind EventKind
+	Flow int
+	Seq  uint64
+	Size int64
+}
+
+// Log accumulates packet events, optionally bounded to the most recent
+// max entries (0 = unbounded).
+type Log struct {
+	sim    *sim.Simulator
+	max    int
+	events []Event
+}
+
+// NewLog creates a packet log. max bounds retained events (0 keeps
+// everything).
+func NewLog(s *sim.Simulator, max int) *Log {
+	if max < 0 {
+		panic("trace: negative log bound")
+	}
+	return &Log{sim: s, max: max}
+}
+
+func (l *Log) add(kind EventKind, p *packet.Packet) {
+	l.events = append(l.events, Event{
+		Time: l.sim.Now(), Kind: kind, Flow: p.Flow, Seq: p.Seq, Size: int64(p.Size),
+	})
+	if l.max > 0 && len(l.events) > l.max {
+		l.events = l.events[len(l.events)-l.max:]
+	}
+}
+
+// Events returns the retained records.
+func (l *Log) Events() []Event { return l.events }
+
+// Tee wraps a sink, logging every packet as EventOffered before
+// forwarding it.
+func (l *Log) Tee(next source.Sink) source.Sink {
+	return source.SinkFunc(func(p *packet.Packet) {
+		l.add(EventOffered, p)
+		next.Receive(p)
+	})
+}
+
+// DepartHook returns a function for sched.Link.OnDepart.
+func (l *Log) DepartHook() func(*packet.Packet) {
+	return func(p *packet.Packet) { l.add(EventDeparted, p) }
+}
+
+// DropHook returns a function for sched.Link.OnDrop.
+func (l *Log) DropHook() func(*packet.Packet) {
+	return func(p *packet.Packet) { l.add(EventDropped, p) }
+}
+
+// WriteCSV emits "time,kind,flow,seq,size" rows.
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time,kind,flow,seq,size"); err != nil {
+		return err
+	}
+	for _, e := range l.events {
+		if _, err := fmt.Fprintf(w, "%g,%s,%d,%d,%d\n", e.Time, e.Kind, e.Flow, e.Seq, e.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateConstructors(t *testing.T) {
+	if MbitsPerSecond(48) != 48*Mbps {
+		t.Errorf("MbitsPerSecond(48) = %v, want %v", MbitsPerSecond(48), 48*Mbps)
+	}
+	if got := MbitsPerSecond(2.4).BitsPerSecond(); got != 2.4e6 {
+		t.Errorf("2.4 Mb/s = %v bits/s", got)
+	}
+}
+
+func TestRateConversions(t *testing.T) {
+	r := MbitsPerSecond(8)
+	if r.BytesPerSecond() != 1e6 {
+		t.Errorf("8 Mb/s = %v bytes/s, want 1e6", r.BytesPerSecond())
+	}
+	if r.Mbits() != 8 {
+		t.Errorf("Mbits() = %v, want 8", r.Mbits())
+	}
+}
+
+func TestBytesConstructors(t *testing.T) {
+	if KiloBytes(50) != 50000 {
+		t.Errorf("KiloBytes(50) = %d, want 50000", KiloBytes(50))
+	}
+	if MegaBytes(1) != 1000000 {
+		t.Errorf("MegaBytes(1) = %d, want 1e6", MegaBytes(1))
+	}
+	if KiloBytes(0.5) != 500 {
+		t.Errorf("KiloBytes(0.5) = %d, want 500", KiloBytes(0.5))
+	}
+}
+
+func TestBytesConversions(t *testing.T) {
+	b := KiloBytes(50)
+	if b.Bits() != 400000 {
+		t.Errorf("50KB = %v bits", b.Bits())
+	}
+	if b.KB() != 50 {
+		t.Errorf("KB() = %v", b.KB())
+	}
+	if MegaBytes(2.5).MB() != 2.5 {
+		t.Errorf("MB() = %v", MegaBytes(2.5).MB())
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	// 500-byte packet on a 48 Mb/s link: 4000 bits / 48e6 b/s.
+	got := TransmissionTime(500, MbitsPerSecond(48))
+	want := 4000.0 / 48e6
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("TransmissionTime = %v, want %v", got, want)
+	}
+}
+
+func TestTransmissionTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate did not panic")
+		}
+	}()
+	TransmissionTime(100, 0)
+}
+
+func TestBytesAtRate(t *testing.T) {
+	if got := BytesAtRate(MbitsPerSecond(8), 1.0); got != 1000000 {
+		t.Errorf("8Mb/s for 1s = %v bytes", got)
+	}
+	if got := BytesAtRate(MbitsPerSecond(8), 0); got != 0 {
+		t.Errorf("zero duration = %v bytes", got)
+	}
+}
+
+func TestBytesAtRatePanicsOnNegativeDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative duration did not panic")
+		}
+	}()
+	BytesAtRate(Mbps, -1)
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{MbitsPerSecond(48).String(), "48Mb/s"},
+		{Rate(2.4e9).String(), "2.4Gb/s"},
+		{Rate(500).String(), "500b/s"},
+		{Rate(5e3).String(), "5Kb/s"},
+		{KiloBytes(50).String(), "50KB"},
+		{MegaBytes(2).String(), "2MB"},
+		{Bytes(500).String(), "500B"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// Property: transmission time scales linearly in size and inversely in
+// rate.
+func TestPropertyTransmissionTimeLinear(t *testing.T) {
+	f := func(sz uint16, mbps uint8) bool {
+		if mbps == 0 {
+			return true
+		}
+		r := MbitsPerSecond(float64(mbps))
+		t1 := TransmissionTime(Bytes(sz), r)
+		t2 := TransmissionTime(Bytes(sz)*2, r)
+		return math.Abs(t2-2*t1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round-tripping bytes through bits halves precision nowhere.
+func TestPropertyBitsRoundTrip(t *testing.T) {
+	f := func(kb uint16) bool {
+		b := KiloBytes(float64(kb))
+		return Bytes(b.Bits()/8) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package bufqos_test
+
+import (
+	"testing"
+
+	"bufqos/internal/buffer"
+	"bufqos/internal/core"
+	"bufqos/internal/experiment"
+	"bufqos/internal/fluid"
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/units"
+)
+
+// Micro-benchmarks of the substrate, for profiling the simulator
+// itself (the figure benchmarks measure the science; these measure the
+// machine).
+
+// BenchmarkSimKernel measures raw event scheduling + dispatch.
+func BenchmarkSimKernel(b *testing.B) {
+	s := sim.New()
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			s.After(1e-6, next)
+		}
+	}
+	s.After(0, next)
+	b.ResetTimer()
+	s.Run(uint64(b.N) + 10)
+}
+
+// BenchmarkSimKernelDeepQueue measures heap behaviour with many pending
+// events.
+func BenchmarkSimKernelDeepQueue(b *testing.B) {
+	s := sim.New()
+	for i := 0; i < 10000; i++ {
+		s.At(1e6+float64(i), func() {})
+	}
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < b.N {
+			s.After(1e-6, next)
+		}
+	}
+	s.After(0, next)
+	b.ResetTimer()
+	for count < b.N && s.Step() {
+	}
+}
+
+// BenchmarkOnOffSource measures packet generation throughput.
+func BenchmarkOnOffSource(b *testing.B) {
+	s := sim.New()
+	n := 0
+	src := source.NewOnOff(s, sim.NewRand(1), source.OnOffConfig{
+		Flow: 0, PacketSize: 500,
+		PeakRate:  units.MbitsPerSecond(40),
+		AvgRate:   units.MbitsPerSecond(16),
+		MeanBurst: units.KiloBytes(250),
+	}, source.SinkFunc(func(*packet.Packet) { n++ }))
+	src.Start()
+	b.ResetTimer()
+	for n < b.N && s.Step() {
+	}
+}
+
+// BenchmarkShaper measures the leaky-bucket regulator's per-packet
+// cost under sustained oversubscription.
+func BenchmarkShaper(b *testing.B) {
+	s := sim.New()
+	n := 0
+	spec := packet.FlowSpec{TokenRate: units.MbitsPerSecond(8), BucketSize: units.KiloBytes(50)}
+	sh := source.NewShaper(s, spec, source.SinkFunc(func(*packet.Packet) { n++ }))
+	src := source.NewCBR(s, 0, 500, units.MbitsPerSecond(16), sh)
+	src.Start()
+	b.ResetTimer()
+	for n < b.N && s.Step() {
+	}
+}
+
+// BenchmarkFluidEngine measures the discretized fluid model.
+func BenchmarkFluidEngine(b *testing.B) {
+	e := fluid.NewEngine(48e6, []float64{1.33e6, 6.67e6}, 1e-4)
+	e.SetGreedy(1)
+	rates := func(t float64) []float64 { return []float64{8e6, 0} }
+	b.ResetTimer()
+	e.Run(b.N, rates)
+}
+
+// BenchmarkThresholdComputation measures the admission-time math for
+// the full Table 2 workload.
+func BenchmarkThresholdComputation(b *testing.B) {
+	specs := experiment.Specs(experiment.Table2Flows())
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Thresholds(specs, experiment.DefaultLinkRate, units.MegaBytes(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupingDP measures the scalable grouping optimizer at 100
+// flows.
+func BenchmarkGroupingDP(b *testing.B) {
+	var specs []packet.FlowSpec
+	for i := 0; i < 100; i++ {
+		specs = append(specs, packet.FlowSpec{
+			TokenRate:  units.MbitsPerSecond(0.3 + float64(i%7)*0.4),
+			BucketSize: units.KiloBytes(float64(10 + i%50)),
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OptimizeGroupingDP(specs, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmitDynamicThreshold and BenchmarkAdmitRED complete the
+// per-packet-cost comparison across all implemented managers.
+func BenchmarkAdmitDynamicThreshold(b *testing.B) {
+	m := buffer.NewDynamicThreshold(units.MegaBytes(1), 9, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Admit(i%9, 500) {
+			m.Release(i%9, 500)
+		}
+	}
+}
+
+func BenchmarkAdmitRED(b *testing.B) {
+	m := buffer.NewRED(units.MegaBytes(1), 9, units.KiloBytes(250), units.KiloBytes(750), 0.1, sim.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Admit(i%9, 500) {
+			m.Release(i%9, 500)
+		}
+	}
+}
