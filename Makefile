@@ -1,0 +1,22 @@
+# Tier-1 verify path. CI and pre-commit both run `make verify`:
+# build + vet + full tests, then a short-mode race check of the
+# parallel sweep worker pool so it stays race-clean.
+.PHONY: verify build vet test race bench
+
+verify: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -short -run TestParallel ./internal/experiment
+
+# Record a benchmark baseline, e.g. `make bench > results/bench-$(date +%F).txt`.
+bench:
+	go test -bench . -benchmem

@@ -100,6 +100,32 @@ func benchWorkload(b *testing.B, flows []experiment.FlowConfig) {
 	b.ReportMetric(offered, "offered-load")
 }
 
+// --- Sweep execution: sequential vs worker pool ---
+
+// BenchmarkFigure1Sequential and BenchmarkFigure1Parallel run the same
+// Figure 1 sweep with Workers=1 and Workers=GOMAXPROCS; the ns/op ratio
+// is the wall-clock speedup of the worker pool (the outputs themselves
+// are identical — TestParallelRunLinesMatchesSequential asserts so).
+func BenchmarkFigure1Sequential(b *testing.B) {
+	o := benchOpts()
+	o.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure1(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Parallel(b *testing.B) {
+	o := benchOpts()
+	o.Workers = 0 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure1(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Figures 1-3: threshold-based buffer management ---
 
 func BenchmarkFigure1(b *testing.B) {

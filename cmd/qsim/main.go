@@ -35,6 +35,7 @@ func main() {
 		fig7buf  = flag.Float64("fig7buffer", 1, "fixed buffer for the fig7 headroom sweep, MB")
 		workload = flag.String("workload", "", "JSON workload file: run a custom buffer sweep instead of the paper figures")
 		schemes  = flag.String("schemes", "FIFO+thresholds,WFQ+thresholds,FIFO", "schemes for -workload sweeps (comma list of names)")
+		workers  = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,10 @@ func main() {
 		BaseSeed:   *seed,
 		Headroom:   units.MegaBytes(*headroom),
 		Fig7Buffer: units.MegaBytes(*fig7buf),
+		Workers:    *workers,
+	}
+	if opts.Warmup == 0 {
+		opts.WarmupSet = true // -warmup 0 means "no warmup", not "default"
 	}
 	if *buffers != "" {
 		for _, part := range strings.Split(*buffers, ",") {

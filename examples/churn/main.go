@@ -36,21 +36,24 @@ func main() {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "arrivals/s\toffered Erlangs\tmean active\tblocking\tutilization\tconformant loss")
-	for _, lambda := range []float64{0.5, 1, 2, 4, 8} {
-		res, err := experiment.RunChurn(experiment.ChurnConfig{
-			Templates:   []experiment.FlowConfig{template},
-			ArrivalRate: lambda,
-			MeanHold:    10,
-			MaxFlows:    64,
-			Buffer:      units.MegaBytes(2),
-			Duration:    120,
-			Warmup:      12,
-			Seed:        1,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
-			os.Exit(1)
-		}
+	rates := []float64{0.5, 1, 2, 4, 8}
+	// The five intensities run concurrently (workers=0 → GOMAXPROCS);
+	// SweepChurn guarantees the table is identical to a sequential sweep.
+	sweep, err := experiment.SweepChurn(experiment.ChurnConfig{
+		Templates: []experiment.FlowConfig{template},
+		MeanHold:  10,
+		MaxFlows:  64,
+		Buffer:    units.MegaBytes(2),
+		Duration:  120,
+		Warmup:    12,
+		Seed:      1,
+	}, rates, 1, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+		os.Exit(1)
+	}
+	for i, lambda := range rates {
+		res := sweep[i][0]
 		fmt.Fprintf(tw, "%.1f\t%.0f\t%.1f\t%.1f%%\t%.1f%%\t%.4f%%\n",
 			lambda, lambda*10, res.MeanActive,
 			100*res.BlockingProbability, 100*res.Utilization, 100*res.ConformantLoss)

@@ -57,6 +57,38 @@ type ChurnResult struct {
 	MeanActive float64
 }
 
+// SweepChurn replicates the churn experiment across arrival rates,
+// running the rates × runs grid on a worker pool (workers as in
+// RunOpts.Workers: 0 means GOMAXPROCS, 1 sequential). Replication r of
+// every rate uses seed base.Seed + r, and results land in pre-assigned
+// slots — out[i][r] is rate arrivalRates[i], replication r — so the
+// output is identical for any worker count.
+func SweepChurn(base ChurnConfig, arrivalRates []float64, runs, workers int) ([][]ChurnResult, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	out := make([][]ChurnResult, len(arrivalRates))
+	for i := range out {
+		out[i] = make([]ChurnResult, runs)
+	}
+	err := forEachJob(workers, len(arrivalRates)*runs, func(j int) error {
+		i, r := j/runs, j%runs
+		cfg := base
+		cfg.ArrivalRate = arrivalRates[i]
+		cfg.Seed = base.Seed + int64(r)
+		res, err := RunChurn(cfg)
+		if err != nil {
+			return fmt.Errorf("churn rate %v run %d: %w", arrivalRates[i], r, err)
+		}
+		out[i][r] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // RunChurn executes a churn experiment.
 func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	if len(cfg.Templates) == 0 {

@@ -28,6 +28,14 @@ type RunOpts struct {
 	// Fig7Buffer is the fixed total buffer of the Figure 7 headroom
 	// sweep (paper: 1 MB).
 	Fig7Buffer units.Bytes
+	// WarmupSet marks a zero Warmup as intentional rather than unset,
+	// suppressing the Duration/10 default.
+	WarmupSet bool
+	// Workers bounds how many simulation runs execute concurrently:
+	// 0 means GOMAXPROCS, 1 forces sequential execution. Results are
+	// identical for any worker count — each (line, x, replication) run
+	// owns its simulator and seed, and lands in a pre-assigned slot.
+	Workers int
 }
 
 func (o *RunOpts) defaults() {
@@ -37,7 +45,7 @@ func (o *RunOpts) defaults() {
 	if o.Duration == 0 {
 		o.Duration = 20
 	}
-	if o.Warmup == 0 {
+	if o.Warmup == 0 && !o.WarmupSet {
 		o.Warmup = o.Duration / 10
 	}
 	if o.BaseSeed == 0 {
@@ -84,26 +92,42 @@ type line struct {
 	metric func(Result) float64
 }
 
-// runLines sweeps xs, replicating each point opts.Runs times.
+// runLines sweeps xs, replicating each point opts.Runs times. The
+// (line, x, replication) runs are independent — each owns its simulator
+// and a seed derived only from the replication index — so they fan out
+// onto opts.Workers goroutines, with every run's metric written into a
+// pre-assigned slot. The resulting Series are identical to a sequential
+// sweep for any worker count.
 func runLines(opts RunOpts, xs []units.Bytes, lines []line) ([]Series, error) {
+	nx, nr := len(xs), opts.Runs
 	series := make([]Series, len(lines))
 	for li, l := range lines {
 		series[li].Label = l.label
-		series[li].Points = make([]stats.Summary, len(xs))
-		for xi, x := range xs {
-			vals := make([]float64, 0, opts.Runs)
-			for r := 0; r < opts.Runs; r++ {
-				cfg := l.cfg(x)
-				cfg.Duration = opts.Duration
-				cfg.Warmup = opts.Warmup
-				cfg.Seed = opts.BaseSeed + int64(r)
-				res, err := Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s at %v run %d: %w", l.label, x, r, err)
-				}
-				vals = append(vals, l.metric(res))
-			}
-			series[li].Points[xi] = stats.Summarize(vals)
+		series[li].Points = make([]stats.Summary, nx)
+	}
+	vals := make([]float64, len(lines)*nx*nr)
+	err := forEachJob(opts.Workers, len(vals), func(j int) error {
+		li, xi, r := j/(nx*nr), (j/nr)%nx, j%nr
+		l, x := lines[li], xs[xi]
+		cfg := l.cfg(x)
+		cfg.Duration = opts.Duration
+		cfg.Warmup = opts.Warmup
+		cfg.WarmupSet = true
+		cfg.Seed = opts.BaseSeed + int64(r)
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s at %v run %d: %w", l.label, x, r, err)
+		}
+		vals[j] = l.metric(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li := range lines {
+		for xi := 0; xi < nx; xi++ {
+			base := (li*nx + xi) * nr
+			series[li].Points[xi] = stats.Summarize(vals[base : base+nr])
 		}
 	}
 	return series, nil

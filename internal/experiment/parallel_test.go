@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"bufqos/internal/units"
+)
+
+// table1Lines builds the Figure-1 line set over the Table 1 workload,
+// the reference workload for the equivalence tests.
+func table1Lines(metric func(Result) float64) []line {
+	var lines []line
+	for _, s := range []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM} {
+		s := s
+		lines = append(lines, line{
+			label:  s.String(),
+			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+			metric: metric,
+		})
+	}
+	return lines
+}
+
+// TestParallelRunLinesMatchesSequential asserts that fanning the Table 1
+// sweep onto 8 workers produces byte-identical Series to a sequential
+// sweep: same labels, same points, bit-equal floats.
+func TestParallelRunLinesMatchesSequential(t *testing.T) {
+	opts := RunOpts{
+		Runs:        3,
+		Duration:    2,
+		Warmup:      0.25,
+		BaseSeed:    7,
+		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(2)},
+	}
+	opts.defaults()
+
+	seq := opts
+	seq.Workers = 1
+	want, err := runLines(seq, seq.BufferSizes, table1Lines(utilization))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := opts
+	par.Workers = 8
+	got, err := runLines(par, par.BufferSizes, table1Lines(utilization))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parallel series differ from sequential:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParallelChurnSweepMatchesSequential does the same for the churn
+// driver: the rates × replications grid must be identical at any worker
+// count.
+func TestParallelChurnSweepMatchesSequential(t *testing.T) {
+	base := ChurnConfig{
+		Templates: []FlowConfig{{
+			Spec:      Table1Flows()[0].Spec,
+			AvgRate:   Table1Flows()[0].AvgRate,
+			MeanBurst: Table1Flows()[0].MeanBurst,
+		}},
+		MeanHold: 2,
+		MaxFlows: 16,
+		Buffer:   units.MegaBytes(1),
+		Duration: 5,
+		Warmup:   0.5,
+		Seed:     3,
+	}
+	rates := []float64{1, 4}
+	want, err := SweepChurn(base, rates, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SweepChurn(base, rates, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parallel churn sweep differs from sequential:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParallelErrorDeterministic checks forEachJob reports the earliest
+// failing job regardless of scheduling, and skips work after a failure.
+func TestParallelErrorDeterministic(t *testing.T) {
+	errA := errors.New("job 2 failed")
+	errB := errors.New("job 7 failed")
+	for _, workers := range []int{1, 4} {
+		err := forEachJob(workers, 10, func(i int) error {
+			switch i {
+			case 2:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Errorf("workers=%d: got error %v, want earliest job's (%v)", workers, err, errA)
+		}
+	}
+	var ran atomic.Int64
+	if err := forEachJob(4, 100, func(i int) error {
+		ran.Add(1)
+		return errA
+	}); err == nil {
+		t.Error("failure not propagated")
+	}
+	if ran.Load() == 100 {
+		t.Error("no jobs were skipped after the first failure")
+	}
+}
+
+// TestConfigExplicitZeroWarmup is the regression test for the defaults
+// bug: a deliberate zero warmup used to be silently replaced with
+// Duration/10.
+func TestConfigExplicitZeroWarmup(t *testing.T) {
+	c := Config{Duration: 10}
+	c.defaults()
+	if c.Warmup != 1 {
+		t.Errorf("unset warmup defaulted to %v, want Duration/10 = 1", c.Warmup)
+	}
+	c = Config{Duration: 10, WarmupSet: true}
+	c.defaults()
+	if c.Warmup != 0 {
+		t.Errorf("explicit zero warmup overwritten to %v", c.Warmup)
+	}
+
+	o := RunOpts{WarmupSet: true}
+	o.defaults()
+	if o.Warmup != 0 {
+		t.Errorf("explicit zero RunOpts warmup overwritten to %v", o.Warmup)
+	}
+
+	// End to end: measuring from t=0 must count strictly more offered
+	// bytes than discarding a warmup prefix.
+	mk := func(warmupSet bool) Result {
+		res, err := Run(Config{
+			Flows:     Table1Flows(),
+			Scheme:    FIFOThreshold,
+			Buffer:    units.MegaBytes(1),
+			Duration:  2,
+			WarmupSet: warmupSet,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	noWarm, defWarm := mk(true), mk(false)
+	var offNo, offDef float64
+	for i := range noWarm.OfferedRate {
+		offNo += noWarm.OfferedRate[i].BitsPerSecond() * 2
+		offDef += defWarm.OfferedRate[i].BitsPerSecond() * (2 - 0.2)
+	}
+	if offNo <= offDef {
+		t.Errorf("zero-warmup run observed %v offered bits, want more than warmed run's %v", offNo, offDef)
+	}
+}

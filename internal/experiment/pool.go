@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachJob runs fn(i) for every i in [0, n), fanning the calls onto
+// up to workers goroutines (0 means GOMAXPROCS; 1 forces the inline
+// sequential path). Jobs must be independent: callers pre-size result
+// slots indexed by i so the output is identical for any worker count.
+// Every job's error is recorded and the first one in index order is
+// returned, so the reported error does not depend on goroutine
+// scheduling; once a job fails, unstarted jobs are skipped.
+func forEachJob(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -111,6 +111,9 @@ type Config struct {
 	// Duration is the simulated time; Warmup the discarded prefix.
 	Duration float64
 	Warmup   float64
+	// WarmupSet marks a zero Warmup as intentional rather than unset,
+	// suppressing the Duration/10 default.
+	WarmupSet bool
 	// Seed drives all randomness of the run.
 	Seed int64
 	// PacketSize defaults to DefaultPacketSize.
@@ -132,7 +135,7 @@ func (c *Config) defaults() {
 	if c.Duration == 0 {
 		c.Duration = 20
 	}
-	if c.Warmup == 0 {
+	if c.Warmup == 0 && !c.WarmupSet {
 		c.Warmup = c.Duration / 10
 	}
 	if c.DynAlpha == 0 {
@@ -273,7 +276,7 @@ func Run(cfg Config) (Result, error) {
 	link := sched.NewLink(s, cfg.LinkRate, scheduler, mgr, col)
 	for i, f := range cfg.Flows {
 		rng := sim.NewRand(sim.DeriveSeed(cfg.Seed, i))
-		var sink source.Sink = link
+		var sink source.Sink
 		if f.Regulated() {
 			sink = source.NewShaper(s, f.Spec, link)
 		} else {

@@ -2,45 +2,80 @@
 // every experiment in this repository.
 //
 // The kernel is deliberately small: a simulator owns a current clock and
-// a binary heap of pending events. Events scheduled for the same instant
+// a min-heap of pending events. Events scheduled for the same instant
 // fire in the order they were scheduled (a monotone sequence number
 // breaks ties), which makes FIFO queueing semantics exact and the whole
 // simulation deterministic for a fixed seed.
+//
+// The implementation is allocation-free in steady state. Event payloads
+// live in an index-managed arena with a free-list, the priority queue is
+// a 4-ary heap of arena indices (shallower than a binary heap, so fewer
+// cache-missing comparisons per sift), and At/After hand out value
+// handles instead of heap pointers. Cancelled events are removed from
+// the heap eagerly rather than lingering until popped, so a workload
+// that schedules and cancels heavily (shapers, churn) keeps the queue
+// exactly as large as its live event count.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created through Simulator.At and Simulator.After.
-type Event struct {
-	time   float64
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when not queued
-	cancel bool
+// node is one arena slot. The generation counter distinguishes a live
+// occupant from a recycled slot, so stale Event handles stay inert.
+type node struct {
+	time float64
+	seq  uint64
+	fn   func()
+	gen  uint32
+	pos  int32 // heap position, -1 when not queued
 }
 
-// Time returns the simulated time at which the event fires.
-func (e *Event) Time() float64 { return e.time }
+// Event is a value handle to a scheduled callback. The zero Event is
+// inert; events are created through Simulator.At and Simulator.After.
+type Event struct {
+	s    *Simulator
+	id   int32
+	gen  uint32
+	time float64
+}
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
+// Time returns the simulated time at which the event fires (or fired).
+func (e Event) Time() float64 { return e.time }
 
-// Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e.index >= 0 && !e.cancel }
+// Cancel removes a pending event from the queue. Cancelling an event
+// that already fired (or was already cancelled) is a no-op.
+func (e Event) Cancel() {
+	if e.s == nil {
+		return
+	}
+	n := &e.s.nodes[e.id]
+	if n.gen != e.gen || n.pos < 0 {
+		return
+	}
+	e.s.removeAt(int(n.pos))
+	e.s.freeNode(e.id)
+}
+
+// Pending reports whether the event is still queued.
+func (e Event) Pending() bool {
+	if e.s == nil {
+		return false
+	}
+	n := &e.s.nodes[e.id]
+	return n.gen == e.gen && n.pos >= 0
+}
 
 // Simulator is a discrete-event simulator. The zero value is not ready
 // for use; call New.
 type Simulator struct {
 	now    float64
 	seq    uint64
-	queue  eventQueue
 	nsteps uint64
+	nodes  []node
+	free   []int32
+	heap   []int32 // 4-ary min-heap of arena indices, ordered by (time, seq)
 }
 
 // New returns a simulator with its clock at time zero.
@@ -55,14 +90,14 @@ func (s *Simulator) Now() float64 { return s.now }
 // loop-detection in tests and for benchmark reporting.
 func (s *Simulator) Steps() uint64 { return s.nsteps }
 
-// Pending returns the number of events currently queued (including
-// cancelled events that have not yet been popped).
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending returns the number of events currently queued. Cancelled
+// events leave the queue immediately, so the count is exact.
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // At schedules fn to run at absolute time t. It panics if t is in the
 // past or not a finite number: such bugs would otherwise manifest as
 // silently reordered events.
-func (s *Simulator) At(t float64, fn func()) *Event {
+func (s *Simulator) At(t float64, fn func()) Event {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: non-finite event time %v", t))
 	}
@@ -72,14 +107,20 @@ func (s *Simulator) At(t float64, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	id := s.alloc()
+	n := &s.nodes[id]
+	n.time = t
+	n.seq = s.seq
+	n.fn = fn
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.heap = append(s.heap, id)
+	n.pos = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
+	return Event{s: s, id: id, gen: n.gen, time: t}
 }
 
 // After schedules fn to run d seconds from now.
-func (s *Simulator) After(d float64, fn func()) *Event {
+func (s *Simulator) After(d float64, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -87,19 +128,20 @@ func (s *Simulator) After(d float64, fn func()) *Event {
 }
 
 // Step executes the next pending event and reports whether one was
-// executed. Cancelled events are skipped without advancing the clock.
+// executed.
 func (s *Simulator) Step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.time
-		s.nsteps++
-		e.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	id := s.heap[0]
+	n := &s.nodes[id]
+	fn := n.fn
+	s.now = n.time
+	s.nsteps++
+	s.removeAt(0)
+	s.freeNode(id)
+	fn()
+	return true
 }
 
 // RunUntil executes events in order until the clock would pass t or the
@@ -110,9 +152,8 @@ func (s *Simulator) RunUntil(t float64) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) is in the past (now %v)", t, s.now))
 	}
-	for s.queue.Len() > 0 {
-		e := s.queue[0]
-		if e.time > t {
+	for len(s.heap) > 0 {
+		if s.nodes[s.heap[0]].time > t {
 			break
 		}
 		s.Step()
@@ -134,36 +175,95 @@ func (s *Simulator) Run(maxSteps uint64) {
 	}
 }
 
-// eventQueue is a min-heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// alloc returns a free arena slot, recycling before growing.
+func (s *Simulator) alloc() int32 {
+	if k := len(s.free); k > 0 {
+		id := s.free[k-1]
+		s.free = s.free[:k-1]
+		return id
 	}
-	return q[i].seq < q[j].seq
+	s.nodes = append(s.nodes, node{pos: -1})
+	return int32(len(s.nodes) - 1)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// freeNode retires an arena slot: the generation bump invalidates any
+// outstanding handles and the callback reference is dropped so the
+// arena never pins dead closures.
+func (s *Simulator) freeNode(id int32) {
+	n := &s.nodes[id]
+	n.fn = nil
+	n.gen++
+	n.pos = -1
+	s.free = append(s.free, id)
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// less orders arena indices by (time, seq).
+func (s *Simulator) less(a, b int32) bool {
+	na, nb := &s.nodes[a], &s.nodes[b]
+	if na.time != nb.time {
+		return na.time < nb.time
+	}
+	return na.seq < nb.seq
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// removeAt deletes the heap entry at position i, restoring heap order.
+func (s *Simulator) removeAt(i int) {
+	last := len(s.heap) - 1
+	moved := s.heap[last]
+	s.heap = s.heap[:last]
+	if i == last {
+		return
+	}
+	s.heap[i] = moved
+	s.nodes[moved].pos = int32(i)
+	if !s.siftDown(i) {
+		s.siftUp(i)
+	}
+}
+
+func (s *Simulator) siftUp(i int) {
+	id := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(id, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.nodes[s.heap[i]].pos = int32(i)
+		i = parent
+	}
+	s.heap[i] = id
+	s.nodes[id].pos = int32(i)
+}
+
+// siftDown restores heap order below i and reports whether i moved.
+func (s *Simulator) siftDown(i int) bool {
+	id := s.heap[i]
+	start := i
+	n := len(s.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(s.heap[c], s.heap[best]) {
+				best = c
+			}
+		}
+		if !s.less(s.heap[best], id) {
+			break
+		}
+		s.heap[i] = s.heap[best]
+		s.nodes[s.heap[i]].pos = int32(i)
+		i = best
+	}
+	s.heap[i] = id
+	s.nodes[id].pos = int32(i)
+	return i != start
 }

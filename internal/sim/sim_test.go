@@ -235,6 +235,148 @@ func TestPropertyOrderedExecution(t *testing.T) {
 	}
 }
 
+// TestCancelRemovesEagerly verifies cancelled events leave the queue
+// immediately instead of lingering until popped.
+func TestCancelRemovesEagerly(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.At(2, func() {})
+	s.At(3, func() {})
+	e.Cancel()
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d after cancel, want 2", s.Pending())
+	}
+	e.Cancel() // double-cancel is a no-op
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d after double cancel, want 2", s.Pending())
+	}
+}
+
+// TestStaleHandleAfterSlotReuse checks that a handle to a fired event
+// cannot cancel an unrelated event that recycled its arena slot.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	s.Run(0)
+	fired := false
+	s.At(2, func() { fired = true }) // reuses e's arena slot
+	if e.Pending() {
+		t.Error("stale handle reports pending")
+	}
+	e.Cancel()
+	s.Run(0)
+	if !fired {
+		t.Error("stale Cancel killed an unrelated event")
+	}
+}
+
+// TestCancelChurnDeterminism drives the kernel through a heavy
+// cancel/reschedule workload twice and checks the firing orders match
+// exactly, and that each order respects (time, schedule-seq).
+func TestCancelChurnDeterminism(t *testing.T) {
+	run := func() []int {
+		s := New()
+		rng := NewRand(42)
+		var fired []int
+		handles := make([]Event, 0, 512)
+		next := 0
+		schedule := func() {
+			id := next
+			next++
+			at := s.Now() + rng.Float64()*3
+			handles = append(handles, s.At(at, func() { fired = append(fired, id) }))
+		}
+		for i := 0; i < 200; i++ {
+			schedule()
+		}
+		for i := 0; i < 2000; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				schedule()
+			case 1:
+				h := handles[rng.Intn(len(handles))]
+				h.Cancel()
+			default:
+				// Cancel one and immediately reschedule another in its
+				// place — the shaper/churn pattern.
+				handles[rng.Intn(len(handles))].Cancel()
+				schedule()
+			}
+		}
+		s.Run(0)
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs fired %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTieBreakSurvivesCancelChurn cancels interleaved same-time events
+// and checks the survivors still fire in schedule order.
+func TestTieBreakSurvivesCancelChurn(t *testing.T) {
+	s := New()
+	var order []int
+	var handles []Event
+	for i := 0; i < 50; i++ {
+		i := i
+		handles = append(handles, s.At(1.0, func() { order = append(order, i) }))
+	}
+	for i := 0; i < 50; i += 2 {
+		handles[i].Cancel()
+	}
+	s.Run(0)
+	if len(order) != 25 {
+		t.Fatalf("fired %d events, want 25", len(order))
+	}
+	for i, v := range order {
+		if v != 2*i+1 {
+			t.Fatalf("tie-break violated after cancels: position %d got event %d", i, v)
+		}
+	}
+}
+
+// TestZeroAllocSteadyState guards the allocation-free hot path: once
+// the arena and heap reach steady capacity, schedule+dispatch must not
+// allocate.
+func TestZeroAllocSteadyState(t *testing.T) {
+	s := New()
+	var next func()
+	next = func() { s.After(1e-6, next) }
+	s.After(0, next)
+	for i := 0; i < 100; i++ { // warm the arena and heap
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() { s.Step() })
+	if allocs != 0 {
+		t.Errorf("schedule+dispatch allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+// TestZeroAllocCancelReschedule guards the other hot pattern: cancel an
+// event and schedule a replacement, as regulators do per packet.
+func TestZeroAllocCancelReschedule(t *testing.T) {
+	s := New()
+	fn := func() {}
+	e := s.At(1, fn)
+	for i := 0; i < 100; i++ {
+		e.Cancel()
+		e = s.At(1, fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Cancel()
+		e = s.At(1, fn)
+	})
+	if allocs != 0 {
+		t.Errorf("cancel+reschedule allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
 func TestDeriveSeedDistinct(t *testing.T) {
 	seen := map[int64]bool{}
 	for seed := int64(0); seed < 10; seed++ {

@@ -17,7 +17,9 @@ import (
 // itself (the figure benchmarks measure the science; these measure the
 // machine).
 
-// BenchmarkSimKernel measures raw event scheduling + dispatch.
+// BenchmarkSimKernel measures raw event scheduling + dispatch. The
+// arena-backed kernel must report 0 allocs/op here: the event payload
+// is recycled through the free-list, not heap-allocated per call.
 func BenchmarkSimKernel(b *testing.B) {
 	s := sim.New()
 	var next func()
@@ -29,8 +31,27 @@ func BenchmarkSimKernel(b *testing.B) {
 		}
 	}
 	s.After(0, next)
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run(uint64(b.N) + 10)
+}
+
+// BenchmarkSimKernelCancel measures the cancel/reschedule churn pattern
+// (what shapers and churn experiments do per packet): also 0 allocs/op,
+// and the eager heap removal keeps the queue from accumulating corpses.
+func BenchmarkSimKernelCancel(b *testing.B) {
+	s := sim.New()
+	fn := func() {}
+	e := s.At(1e18, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel()
+		e = s.At(1e18, fn)
+	}
+	if s.Pending() != 1 {
+		b.Fatalf("eager cancel left %d events queued, want 1", s.Pending())
+	}
 }
 
 // BenchmarkSimKernelDeepQueue measures heap behaviour with many pending
@@ -49,6 +70,7 @@ func BenchmarkSimKernelDeepQueue(b *testing.B) {
 		}
 	}
 	s.After(0, next)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for count < b.N && s.Step() {
 	}
