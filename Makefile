@@ -1,7 +1,8 @@
 # Tier-1 verify path. CI and pre-commit both run `make verify`:
 # build + vet + full tests, then a short-mode race check of the
-# parallel sweep worker pool so it stays race-clean.
-.PHONY: verify build vet test race bench
+# parallel sweep worker pool (including cancellation and shared-
+# registry metrics aggregation) so it stays race-clean.
+.PHONY: verify build vet test race bench bench-smoke
 
 verify: build vet test race
 
@@ -15,8 +16,14 @@ test:
 	go test ./...
 
 race:
-	go test -race -short -run TestParallel ./internal/experiment
+	go test -race -short -run 'TestParallel|TestPool|TestSweepCancel|TestMetricsDeterministic' ./internal/experiment
 
 # Record a benchmark baseline, e.g. `make bench > results/bench-$(date +%F).txt`.
 bench:
 	go test -bench . -benchmem
+
+# One fast iteration of the headline benchmarks: catches benchmarks
+# that no longer compile or crash without paying for full measurement.
+# CI runs this on every push.
+bench-smoke:
+	go test -run '^$$' -bench 'BenchmarkTable1Workload$$|BenchmarkEndToEndSimulation' -benchtime 1x .

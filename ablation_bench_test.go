@@ -1,6 +1,7 @@
 package bufqos_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -16,12 +17,14 @@ import (
 // and adaptive-sharing alternatives, and the RPQ middle ground. Each
 // reports its comparison through b.ReportMetric.
 
+// ablationRun goes through the deprecated Config shim on purpose: the
+// ablations double as a compatibility check for pre-Options callers.
 func ablationRun(b *testing.B, cfg experiment.Config) experiment.Result {
 	b.Helper()
 	cfg.Duration = 4
 	cfg.Warmup = 0.5
 	cfg.Seed = 11
-	res, err := experiment.Run(cfg)
+	res, err := experiment.RunConfig(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -267,7 +270,7 @@ func BenchmarkAblationSchedulerScaling(b *testing.B) {
 func BenchmarkChurn(b *testing.B) {
 	var blocking, loss, util float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunChurn(experiment.ChurnConfig{
+		res, err := experiment.RunChurn(context.Background(), experiment.ChurnConfig{
 			Templates: []experiment.FlowConfig{{
 				Spec: packet.FlowSpec{
 					PeakRate:   units.MbitsPerSecond(16),

@@ -10,6 +10,7 @@
 package bufqos_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"bufqos/internal/core"
 	"bufqos/internal/experiment"
 	"bufqos/internal/fluid"
+	"bufqos/internal/metrics"
 	"bufqos/internal/packet"
 	"bufqos/internal/sched"
 	"bufqos/internal/sim"
@@ -26,16 +28,17 @@ import (
 
 // benchOpts is the reduced-scale configuration shared by the figure
 // benchmarks.
-func benchOpts() experiment.RunOpts {
-	return experiment.RunOpts{
+func benchOpts() *experiment.Options {
+	o := &experiment.Options{
 		Runs:        2,
 		Duration:    4,
-		Warmup:      0.5,
-		BaseSeed:    1,
 		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(1), units.MegaBytes(3)},
 		Headrooms:   []units.Bytes{0, units.KiloBytes(250), units.KiloBytes(500)},
 		Headroom:    units.KiloBytes(500),
 	}
+	experiment.WithWarmup(0.5)(o)
+	experiment.WithSeed(1)(o)
+	return o
 }
 
 // reportEdge reports a series' value at the smallest and largest swept
@@ -52,12 +55,12 @@ func reportEdge(b *testing.B, fig experiment.Figure, label, unit string) {
 	b.ReportMetric(s.Points[len(s.Points)-1].Mean, name+"@max-"+unit)
 }
 
-func runFigure(b *testing.B, fn func(experiment.RunOpts) (experiment.Figure, error)) experiment.Figure {
+func runFigure(b *testing.B, fn func(context.Context, *experiment.Options) (experiment.Figure, error)) experiment.Figure {
 	b.Helper()
 	var fig experiment.Figure
 	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = fn(benchOpts())
+		fig, err = fn(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +113,7 @@ func BenchmarkFigure1Sequential(b *testing.B) {
 	o := benchOpts()
 	o.Workers = 1
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure1(o); err != nil {
+		if _, err := experiment.Figure1(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +123,7 @@ func BenchmarkFigure1Parallel(b *testing.B) {
 	o := benchOpts()
 	o.Workers = 0 // GOMAXPROCS
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure1(o); err != nil {
+		if _, err := experiment.Figure1(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -342,14 +345,37 @@ func BenchmarkFIFOEnqueueDequeue(b *testing.B) {
 // ns/op divided by the packet count).
 func BenchmarkEndToEndSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := experiment.Run(experiment.Config{
-			Flows:    experiment.Table1Flows(),
-			Scheme:   experiment.FIFOThreshold,
-			Buffer:   units.MegaBytes(1),
-			Duration: 2,
-			Warmup:   0.2,
-			Seed:     int64(i + 1),
-		})
+		_, err := experiment.Run(context.Background(), experiment.NewOptions(
+			experiment.WithFlows(experiment.Table1Flows()),
+			experiment.WithScheme(experiment.FIFOThreshold),
+			experiment.WithBuffer(units.MegaBytes(1)),
+			experiment.WithDuration(2),
+			experiment.WithWarmup(0.2),
+			experiment.WithSeed(int64(i+1)),
+		))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSimulationMetrics is the same run with a live metrics
+// registry attached. Comparing its ns/op against
+// BenchmarkEndToEndSimulation prices the enabled instrumentation; the
+// disabled (nil-registry) path is priced by BenchmarkEndToEndSimulation
+// itself against the pre-instrumentation baseline.
+func BenchmarkEndToEndSimulationMetrics(b *testing.B) {
+	reg := metrics.NewRegistry()
+	for i := 0; i < b.N; i++ {
+		_, err := experiment.Run(context.Background(), experiment.NewOptions(
+			experiment.WithFlows(experiment.Table1Flows()),
+			experiment.WithScheme(experiment.FIFOThreshold),
+			experiment.WithBuffer(units.MegaBytes(1)),
+			experiment.WithDuration(2),
+			experiment.WithWarmup(0.2),
+			experiment.WithSeed(int64(i+1)),
+			experiment.WithMetrics(reg),
+		))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"bufqos/internal/experiment"
 	"bufqos/internal/report"
@@ -24,32 +26,35 @@ func main() {
 	)
 	flag.Parse()
 
-	var opts experiment.RunOpts
+	var opts *experiment.Options
 	if *quick {
-		opts = experiment.RunOpts{
+		opts = &experiment.Options{
 			Runs:        1,
 			Duration:    6,
-			Warmup:      0.6,
-			BaseSeed:    5,
 			BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(1), units.MegaBytes(2)},
 			Headrooms:   []units.Bytes{0, units.KiloBytes(150), units.KiloBytes(300)},
 			Headroom:    units.KiloBytes(500),
 			Fig7Buffer:  units.KiloBytes(250),
 		}
+		experiment.WithWarmup(0.6)(opts)
+		experiment.WithSeed(5)(opts)
 	} else {
 		// Full scale, but a small-buffer fig7 so the headroom effect is
 		// on-scale (see EXPERIMENTS.md).
-		opts = experiment.RunOpts{Fig7Buffer: units.KiloBytes(300)}
+		opts = experiment.NewOptions(experiment.WithFig7Buffer(units.KiloBytes(300)))
 	}
 	if *runs > 0 {
 		opts.Runs = *runs
 	}
 	if *duration > 0 {
 		opts.Duration = *duration
-		opts.Warmup = *duration / 10
+		experiment.WithWarmup(*duration / 10)(opts)
 	}
 
-	results, err := report.Run(opts, os.Stdout)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	results, err := report.Run(ctx, opts, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qcheck: %v\n", err)
 		os.Exit(2)

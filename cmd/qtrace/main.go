@@ -7,6 +7,11 @@
 //
 //	qtrace -scheme sharing -buffer 1 -headroom 0.25 > trace.csv
 //	qtrace -scheme threshold -example1 > example1.csv
+//	qtrace -scheme sharing -metrics metrics.csv > trace.csv
+//
+// With -metrics, the run's counters and gauges (event kernel, buffer
+// accepts/drops, scheduler service counts) are additionally sampled on
+// the same interval and written as a second CSV time series.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"bufqos/internal/buffer"
 	"bufqos/internal/core"
 	"bufqos/internal/experiment"
+	"bufqos/internal/metrics"
 	"bufqos/internal/sched"
 	"bufqos/internal/sim"
 	"bufqos/internal/source"
@@ -33,6 +39,7 @@ func main() {
 		interval = flag.Float64("interval", 0.005, "sample interval in seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
 		example1 = flag.Bool("example1", false, "trace the Example 1 scenario (CBR vs feedback-greedy) instead of Table 1")
+		metricsF = flag.String("metrics", "", "also sample run metrics every interval and write them as CSV to this file")
 	)
 	flag.Parse()
 
@@ -43,6 +50,22 @@ func main() {
 	var mgr buffer.Manager
 	var labels []string
 	var probe func() []float64
+	var reg *metrics.Registry
+	if *metricsF != "" {
+		reg = metrics.NewRegistry()
+		s.Instrument(reg)
+	}
+	// instrument wires the built manager and link into reg (no-op
+	// without -metrics).
+	instrument := func(link *sched.Link, scheme string) {
+		if reg == nil {
+			return
+		}
+		if in, ok := mgr.(buffer.Instrumentable); ok {
+			in.Instrument(reg, "buffer")
+		}
+		link.Instrument(reg, scheme)
+	}
 
 	if *example1 {
 		// Two flows: conformant CBR at 8 Mb/s vs the greedy adversary.
@@ -51,6 +74,7 @@ func main() {
 		fixed := buffer.NewFixedThreshold(bufSize, []units.Bytes{th + 500, bufSize - th - 500})
 		mgr = fixed
 		link := sched.NewLink(s, linkRate, sched.NewFIFO(), mgr, nil)
+		instrument(link, "example1")
 		g := source.NewFeedbackGreedy(s, 1, 500, mgr, link)
 		link.OnDepart = g.DepartureHook()
 		g.Kick()
@@ -87,6 +111,7 @@ func main() {
 			fatalf("unknown scheme %q (threshold or sharing)", *scheme)
 		}
 		link := sched.NewLink(s, linkRate, sched.NewFIFO(), mgr, nil)
+		instrument(link, *scheme)
 		for i, f := range flows {
 			rng := sim.NewRand(sim.DeriveSeed(*seed, i))
 			var sink source.Sink = link
@@ -105,9 +130,27 @@ func main() {
 
 	sa := trace.NewSampler(s, *interval, labels, probe)
 	sa.Start()
+	var msa *trace.Sampler
+	if reg != nil {
+		msa = trace.NewMetricsSampler(s, *interval, reg, reg.Names())
+		msa.Start()
+	}
 	s.RunUntil(*duration)
 	if err := sa.WriteCSV(os.Stdout); err != nil {
 		fatalf("writing csv: %v", err)
+	}
+	if msa != nil {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fatalf("creating %s: %v", *metricsF, err)
+		}
+		if err := msa.WriteCSV(f); err != nil {
+			f.Close()
+			fatalf("writing %s: %v", *metricsF, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *metricsF, err)
+		}
 	}
 }
 

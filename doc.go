@@ -12,10 +12,25 @@
 //   - internal/source    — ON-OFF sources, leaky-bucket shaper, meter
 //   - internal/fluid     — fluid-model verification of Propositions 1-2
 //   - internal/experiment — Table 1/2 workloads and Figures 1-13 runners
-//   - internal/sim, units, packet, stats — substrate
+//   - internal/metrics   — allocation-conscious counters/gauges/histograms
+//   - internal/sim, units, packet, stats, trace — substrate
 //
-// Executables: cmd/qsim (regenerate every figure), cmd/qosplan
-// (closed-form analysis). Runnable walkthroughs are in examples/.
-// The benchmarks in bench_test.go regenerate each table and figure at
-// reduced scale; see EXPERIMENTS.md for paper-vs-measured results.
+// The experiment package is driven through a single Options struct built
+// with functional options and a context-aware entry point:
+//
+//	fig, err := experiment.Figure1(ctx, experiment.NewOptions(
+//	    experiment.WithRuns(5),
+//	    experiment.WithMetrics(reg),      // nil registry = zero-cost
+//	    experiment.WithProgress(onTick),  // runs done/total + ETA
+//	))
+//
+// Cancelling ctx stops in-flight simulations promptly and returns the
+// partial figure. The deprecated Config/RunOpts shims keep pre-Options
+// callers compiling.
+//
+// Executables: cmd/qsim (regenerate every figure; -metrics, -pprof and
+// -progress expose run telemetry), cmd/qosplan (closed-form analysis).
+// Runnable walkthroughs are in examples/. The benchmarks in
+// bench_test.go regenerate each table and figure at reduced scale; see
+// EXPERIMENTS.md for paper-vs-measured results.
 package bufqos

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -39,7 +40,7 @@ func main() {
 	rates := []float64{0.5, 1, 2, 4, 8}
 	// The five intensities run concurrently (workers=0 → GOMAXPROCS);
 	// SweepChurn guarantees the table is identical to a sequential sweep.
-	sweep, err := experiment.SweepChurn(experiment.ChurnConfig{
+	sweep, err := experiment.SweepChurn(context.Background(), experiment.ChurnConfig{
 		Templates: []experiment.FlowConfig{template},
 		MeanHold:  10,
 		MaxFlows:  64,

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -94,16 +95,16 @@ func main() {
 
 	// Run both systems at the hybrid's minimum buffer.
 	for _, scheme := range []experiment.Scheme{experiment.HybridSharing, experiment.WFQSharing} {
-		res, err := experiment.Run(experiment.Config{
-			Flows:    flows,
-			Scheme:   scheme,
-			Buffer:   hybridTotal,
-			Headroom: hybridTotal / 4,
-			QueueOf:  queueOf,
-			Duration: 10,
-			Warmup:   1,
-			Seed:     7,
-		})
+		res, err := experiment.Run(context.Background(), experiment.NewOptions(
+			experiment.WithFlows(flows),
+			experiment.WithScheme(scheme),
+			experiment.WithBuffer(hybridTotal),
+			experiment.WithHeadroom(hybridTotal/4),
+			experiment.WithQueues(queueOf),
+			experiment.WithDuration(10),
+			experiment.WithWarmup(1),
+			experiment.WithSeed(7),
+		))
 		check(err)
 		fmt.Printf("%-16s utilization %.1f%%  conformant loss %.3f%%\n",
 			scheme.String()+":", 100*res.Utilization, 100*res.ConformantLoss)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -41,14 +42,14 @@ func main() {
 
 	results := make([]experiment.Result, len(schemes))
 	for i, s := range schemes {
-		res, err := experiment.Run(experiment.Config{
-			Flows:    flows,
-			Scheme:   s,
-			Buffer:   units.MegaBytes(1),
-			Duration: 10,
-			Warmup:   1,
-			Seed:     42,
-		})
+		res, err := experiment.Run(context.Background(), experiment.NewOptions(
+			experiment.WithFlows(flows),
+			experiment.WithScheme(s),
+			experiment.WithBuffer(units.MegaBytes(1)),
+			experiment.WithDuration(10),
+			experiment.WithWarmup(1),
+			experiment.WithSeed(42),
+		))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "slaprotection: %v\n", err)
 			os.Exit(1)

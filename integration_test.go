@@ -1,6 +1,7 @@
 package bufqos_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -328,14 +329,14 @@ func TestRequiredBufferLosslessPacketized(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf := need + units.Bytes(len(specs))*500
-	res, err := experiment.Run(experiment.Config{
-		Flows:    flows,
-		Scheme:   experiment.FIFOThreshold,
-		Buffer:   buf,
-		Duration: 20,
-		Warmup:   1,
-		Seed:     3,
-	})
+	res, err := experiment.Run(context.Background(), experiment.NewOptions(
+		experiment.WithFlows(flows),
+		experiment.WithScheme(experiment.FIFOThreshold),
+		experiment.WithBuffer(buf),
+		experiment.WithDuration(20),
+		experiment.WithWarmup(1),
+		experiment.WithSeed(3),
+	))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,16 +367,15 @@ func TestHybridMinimumBufferLossless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := experiment.Run(experiment.Config{
-		Flows:    flows,
-		Scheme:   experiment.HybridSharing,
-		Buffer:   minBuf + units.Bytes(len(specs))*2*500,
-		Headroom: 0,
-		QueueOf:  queueOf,
-		Duration: 20,
-		Warmup:   1,
-		Seed:     3,
-	})
+	res, err := experiment.Run(context.Background(), experiment.NewOptions(
+		experiment.WithFlows(flows),
+		experiment.WithScheme(experiment.HybridSharing),
+		experiment.WithBuffer(minBuf+units.Bytes(len(specs))*2*500),
+		experiment.WithQueues(queueOf),
+		experiment.WithDuration(20),
+		experiment.WithWarmup(1),
+		experiment.WithSeed(3),
+	))
 	if err != nil {
 		t.Fatal(err)
 	}

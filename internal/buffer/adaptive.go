@@ -3,6 +3,7 @@ package buffer
 import (
 	"fmt"
 
+	"bufqos/internal/metrics"
 	"bufqos/internal/units"
 )
 
@@ -30,6 +31,9 @@ type AdaptiveSharing struct {
 	maxHead    units.Bytes
 	headroom   units.Bytes
 	holes      units.Bytes
+
+	gHoles    *metrics.Gauge // nil unless instrumented
+	gHeadroom *metrics.Gauge
 }
 
 // NewAdaptiveSharing builds the manager. adaptive[i] marks flow i as
@@ -72,19 +76,39 @@ func (m *AdaptiveSharing) Holes() units.Bytes { return m.holes }
 // Headroom returns the protected free pool.
 func (m *AdaptiveSharing) Headroom() units.Bytes { return m.headroom }
 
+// Instrument implements Instrumentable, adding the pool gauges as in
+// Sharing.
+func (m *AdaptiveSharing) Instrument(r *metrics.Registry, prefix string) {
+	m.accounting.Instrument(r, prefix)
+	if r == nil {
+		return
+	}
+	m.gHoles = r.Gauge(prefix + ".holes_bytes")
+	m.gHeadroom = r.Gauge(prefix + ".headroom_bytes")
+	m.syncPools()
+}
+
+func (m *AdaptiveSharing) syncPools() {
+	m.gHoles.Set(int64(m.holes))
+	m.gHeadroom.Set(int64(m.headroom))
+}
+
 // Admit implements Manager.
 func (m *AdaptiveSharing) Admit(flow int, size units.Bytes) bool {
 	if m.occ[flow]+size <= m.thresholds[flow] {
 		if m.holes+m.headroom < size {
+			m.dropped(flow, size)
 			return false
 		}
 		fromHoles := min(m.holes, size)
 		m.holes -= fromHoles
 		m.headroom -= size - fromHoles
 		m.add(flow, size)
+		m.syncPools()
 		return true
 	}
 	if size > m.holes {
+		m.dropped(flow, size)
 		return false
 	}
 	limit := m.holes
@@ -92,10 +116,12 @@ func (m *AdaptiveSharing) Admit(flow int, size units.Bytes) bool {
 		limit = units.Bytes(float64(m.holes) * m.frac)
 	}
 	if m.occ[flow]+size-m.thresholds[flow] > limit {
+		m.dropped(flow, size)
 		return false
 	}
 	m.holes -= size
 	m.add(flow, size)
+	m.syncPools()
 	return true
 }
 
@@ -107,6 +133,7 @@ func (m *AdaptiveSharing) Release(flow int, size units.Bytes) {
 		m.holes += m.headroom - m.maxHead
 		m.headroom = m.maxHead
 	}
+	m.syncPools()
 }
 
 // checkInvariant mirrors Sharing's space-conservation check for tests.

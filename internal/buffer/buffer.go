@@ -20,7 +20,9 @@ package buffer
 
 import (
 	"fmt"
+	"strconv"
 
+	"bufqos/internal/metrics"
 	"bufqos/internal/units"
 )
 
@@ -40,11 +42,64 @@ type Manager interface {
 	Capacity() units.Bytes
 }
 
+// Instrumentable is implemented by managers that can export metrics.
+// Instrument must be called before the manager is used; a nil registry
+// leaves the manager uninstrumented (the free fast path).
+type Instrumentable interface {
+	Instrument(r *metrics.Registry, prefix string)
+}
+
+// acctMetrics holds the metric handles of an instrumented manager.
+// The pointer on accounting is nil when metrics are disabled, so the
+// hot path pays a single branch.
+type acctMetrics struct {
+	accepts       *metrics.Counter
+	drops         *metrics.Counter
+	acceptedBytes *metrics.Counter
+	droppedBytes  *metrics.Counter
+	occupancy     *metrics.Gauge
+	flowAccepts   []*metrics.Counter
+	flowDrops     []*metrics.Counter
+}
+
 // accounting is the shared occupancy bookkeeping embedded by managers.
 type accounting struct {
 	capacity units.Bytes
 	occ      []units.Bytes
 	total    units.Bytes
+	met      *acctMetrics
+}
+
+// Instrument implements Instrumentable: it registers accept/drop
+// counters (aggregate and per flow) and a total-occupancy gauge under
+// the given name prefix, e.g. "buffer".
+func (a *accounting) Instrument(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	m := &acctMetrics{
+		accepts:       r.Counter(prefix + ".accepts"),
+		drops:         r.Counter(prefix + ".drops"),
+		acceptedBytes: r.Counter(prefix + ".accepted_bytes"),
+		droppedBytes:  r.Counter(prefix + ".dropped_bytes"),
+		occupancy:     r.Gauge(prefix + ".occupancy_bytes"),
+		flowAccepts:   make([]*metrics.Counter, len(a.occ)),
+		flowDrops:     make([]*metrics.Counter, len(a.occ)),
+	}
+	for i := range a.occ {
+		m.flowAccepts[i] = r.Counter(prefix + ".accepts.flow" + strconv.Itoa(i))
+		m.flowDrops[i] = r.Counter(prefix + ".drops.flow" + strconv.Itoa(i))
+	}
+	a.met = m
+}
+
+// dropped records a rejected packet; every Admit failure path calls it.
+func (a *accounting) dropped(flow int, size units.Bytes) {
+	if m := a.met; m != nil {
+		m.drops.Inc()
+		m.droppedBytes.Add(int64(size))
+		m.flowDrops[flow].Inc()
+	}
 }
 
 func newAccounting(capacity units.Bytes, nflows int) accounting {
@@ -60,6 +115,12 @@ func newAccounting(capacity units.Bytes, nflows int) accounting {
 func (a *accounting) add(flow int, size units.Bytes) {
 	a.occ[flow] += size
 	a.total += size
+	if m := a.met; m != nil {
+		m.accepts.Inc()
+		m.acceptedBytes.Add(int64(size))
+		m.flowAccepts[flow].Inc()
+		m.occupancy.Set(int64(a.total))
+	}
 }
 
 func (a *accounting) remove(flow int, size units.Bytes) {
@@ -68,6 +129,9 @@ func (a *accounting) remove(flow int, size units.Bytes) {
 	}
 	a.occ[flow] -= size
 	a.total -= size
+	if m := a.met; m != nil {
+		m.occupancy.Set(int64(a.total))
+	}
 }
 
 // Occupancy implements Manager.
@@ -98,6 +162,7 @@ func NewTailDrop(capacity units.Bytes, nflows int) *TailDrop {
 // Admit implements Manager.
 func (t *TailDrop) Admit(flow int, size units.Bytes) bool {
 	if t.total+size > t.capacity {
+		t.dropped(flow, size)
 		return false
 	}
 	t.add(flow, size)
@@ -171,10 +236,8 @@ func (m *FixedThreshold) SetThreshold(flow int, v units.Bytes) {
 
 // Admit implements Manager.
 func (m *FixedThreshold) Admit(flow int, size units.Bytes) bool {
-	if m.total+size > m.capacity {
-		return false
-	}
-	if m.occ[flow]+size > m.thresholds[flow] {
+	if m.total+size > m.capacity || m.occ[flow]+size > m.thresholds[flow] {
+		m.dropped(flow, size)
 		return false
 	}
 	m.add(flow, size)

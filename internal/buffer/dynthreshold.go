@@ -39,10 +39,8 @@ func (m *DynamicThreshold) CurrentThreshold() units.Bytes {
 
 // Admit implements Manager.
 func (m *DynamicThreshold) Admit(flow int, size units.Bytes) bool {
-	if m.total+size > m.capacity {
-		return false
-	}
-	if m.occ[flow] >= m.CurrentThreshold() {
+	if m.total+size > m.capacity || m.occ[flow] >= m.CurrentThreshold() {
+		m.dropped(flow, size)
 		return false
 	}
 	m.add(flow, size)

@@ -3,6 +3,7 @@ package buffer
 import (
 	"fmt"
 
+	"bufqos/internal/metrics"
 	"bufqos/internal/units"
 )
 
@@ -39,6 +40,19 @@ func NewPartitioned(queueOf []int, managers []Manager) *Partitioned {
 
 // Queue returns the manager of queue q, for inspection.
 func (p *Partitioned) Queue(q int) Manager { return p.managers[q] }
+
+// Instrument implements Instrumentable by instrumenting every inner
+// manager that supports it under a per-queue prefix ("<prefix>.q<i>").
+func (p *Partitioned) Instrument(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	for q, m := range p.managers {
+		if in, ok := m.(Instrumentable); ok {
+			in.Instrument(r, fmt.Sprintf("%s.q%d", prefix, q))
+		}
+	}
+}
 
 // Admit implements Manager.
 func (p *Partitioned) Admit(flow int, size units.Bytes) bool {

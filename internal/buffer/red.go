@@ -54,6 +54,7 @@ func (m *RED) AverageQueue() float64 { return m.avg }
 func (m *RED) Admit(flow int, size units.Bytes) bool {
 	if m.total+size > m.capacity {
 		m.count = 0
+		m.dropped(flow, size)
 		return false
 	}
 	m.avg = (1-m.Weight)*m.avg + m.Weight*float64(m.total)
@@ -62,6 +63,7 @@ func (m *RED) Admit(flow int, size units.Bytes) bool {
 		m.count = 0
 	case m.avg >= float64(m.MaxTh):
 		m.count = 0
+		m.dropped(flow, size)
 		return false
 	default:
 		pb := m.MaxP * (m.avg - float64(m.MinTh)) / float64(m.MaxTh-m.MinTh)
@@ -72,6 +74,7 @@ func (m *RED) Admit(flow int, size units.Bytes) bool {
 		m.count++
 		if m.rng.Float64() < pa {
 			m.count = 0
+			m.dropped(flow, size)
 			return false
 		}
 	}

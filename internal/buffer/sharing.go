@@ -3,6 +3,7 @@ package buffer
 import (
 	"fmt"
 
+	"bufqos/internal/metrics"
 	"bufqos/internal/units"
 )
 
@@ -35,6 +36,9 @@ type Sharing struct {
 	maxHead    units.Bytes // H
 	headroom   units.Bytes
 	holes      units.Bytes
+
+	gHoles    *metrics.Gauge // nil unless instrumented
+	gHeadroom *metrics.Gauge
 }
 
 // NewSharing returns a sharing manager with reserved per-flow
@@ -59,6 +63,26 @@ func NewSharing(capacity units.Bytes, thresholds []units.Bytes, h units.Bytes) *
 	return m
 }
 
+// Instrument implements Instrumentable, adding the §3.3 pool gauges
+// (holes and headroom levels) on top of the accounting metrics.
+func (m *Sharing) Instrument(r *metrics.Registry, prefix string) {
+	m.accounting.Instrument(r, prefix)
+	if r == nil {
+		return
+	}
+	m.gHoles = r.Gauge(prefix + ".holes_bytes")
+	m.gHeadroom = r.Gauge(prefix + ".headroom_bytes")
+	m.gHoles.Set(int64(m.holes))
+	m.gHeadroom.Set(int64(m.headroom))
+}
+
+// syncPools refreshes the pool gauges; nil handles make it free when
+// metrics are disabled.
+func (m *Sharing) syncPools() {
+	m.gHoles.Set(int64(m.holes))
+	m.gHeadroom.Set(int64(m.headroom))
+}
+
 // Threshold returns flow's reserved share.
 func (m *Sharing) Threshold(flow int) units.Bytes { return m.thresholds[flow] }
 
@@ -77,24 +101,25 @@ func (m *Sharing) Admit(flow int, size units.Bytes) bool {
 		// Below threshold: entitled to space. Holes first, then the
 		// reserved headroom.
 		if m.holes+m.headroom < size {
+			m.dropped(flow, size)
 			return false
 		}
 		fromHoles := min(m.holes, size)
 		m.holes -= fromHoles
 		m.headroom -= size - fromHoles
 		m.add(flow, size)
+		m.syncPools()
 		return true
 	}
 	// Above threshold: only holes, and the flow's excess occupancy must
 	// not outgrow what is left.
-	if size > m.holes {
-		return false
-	}
-	if m.occ[flow]+size-m.thresholds[flow] > m.holes {
+	if size > m.holes || m.occ[flow]+size-m.thresholds[flow] > m.holes {
+		m.dropped(flow, size)
 		return false
 	}
 	m.holes -= size
 	m.add(flow, size)
+	m.syncPools()
 	return true
 }
 
@@ -106,6 +131,7 @@ func (m *Sharing) Release(flow int, size units.Bytes) {
 		m.holes += m.headroom - m.maxHead
 		m.headroom = m.maxHead
 	}
+	m.syncPools()
 }
 
 // checkInvariant verifies holes + headroom + occupancy == capacity and

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"bufqos/internal/buffer"
 	"bufqos/internal/core"
+	"bufqos/internal/metrics"
 	"bufqos/internal/packet"
 	"bufqos/internal/sched"
 	"bufqos/internal/sim"
@@ -34,6 +36,9 @@ type ChurnConfig struct {
 	Seed     int64
 	// PacketSize defaults to DefaultPacketSize.
 	PacketSize units.Bytes
+	// Metrics, when non-nil, receives the kernel, buffer, and scheduler
+	// metrics of the run (see Options.Metrics).
+	Metrics *metrics.Registry
 }
 
 // ChurnResult summarizes a churn run.
@@ -59,11 +64,13 @@ type ChurnResult struct {
 
 // SweepChurn replicates the churn experiment across arrival rates,
 // running the rates × runs grid on a worker pool (workers as in
-// RunOpts.Workers: 0 means GOMAXPROCS, 1 sequential). Replication r of
+// Options.Workers: 0 means GOMAXPROCS, 1 sequential). Replication r of
 // every rate uses seed base.Seed + r, and results land in pre-assigned
 // slots — out[i][r] is rate arrivalRates[i], replication r — so the
-// output is identical for any worker count.
-func SweepChurn(base ChurnConfig, arrivalRates []float64, runs, workers int) ([][]ChurnResult, error) {
+// output is identical for any worker count. Cancelling ctx stops the
+// sweep; completed cells of the grid stay filled and ctx.Err() is
+// returned alongside them.
+func SweepChurn(ctx context.Context, base ChurnConfig, arrivalRates []float64, runs, workers int) ([][]ChurnResult, error) {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -71,12 +78,12 @@ func SweepChurn(base ChurnConfig, arrivalRates []float64, runs, workers int) ([]
 	for i := range out {
 		out[i] = make([]ChurnResult, runs)
 	}
-	err := forEachJob(workers, len(arrivalRates)*runs, func(j int) error {
+	err := forEachJob(ctx, workers, len(arrivalRates)*runs, base.Metrics, nil, func(j int) error {
 		i, r := j/runs, j%runs
 		cfg := base
 		cfg.ArrivalRate = arrivalRates[i]
 		cfg.Seed = base.Seed + int64(r)
-		res, err := RunChurn(cfg)
+		res, err := RunChurn(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("churn rate %v run %d: %w", arrivalRates[i], r, err)
 		}
@@ -84,13 +91,14 @@ func SweepChurn(base ChurnConfig, arrivalRates []float64, runs, workers int) ([]
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	return out, nil
 }
 
-// RunChurn executes a churn experiment.
-func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
+// RunChurn executes a churn experiment. Cancelling ctx interrupts the
+// run, returning ctx.Err().
+func RunChurn(ctx context.Context, cfg ChurnConfig) (ChurnResult, error) {
 	if len(cfg.Templates) == 0 {
 		return ChurnResult{}, fmt.Errorf("experiment: churn needs templates")
 	}
@@ -115,6 +123,11 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	thresholds := make([]units.Bytes, cfg.MaxFlows)
 	mgr := buffer.NewFixedThreshold(cfg.Buffer, thresholds)
 	link := sched.NewLink(s, cfg.LinkRate, sched.NewFIFO(), mgr, col)
+	if cfg.Metrics != nil {
+		s.Instrument(cfg.Metrics)
+		mgr.Instrument(cfg.Metrics, "buffer")
+		link.Instrument(cfg.Metrics, "churn")
+	}
 	admission := core.NewAdmissionController(core.DisciplineFIFO, cfg.LinkRate, cfg.Buffer)
 
 	rng := sim.NewRand(cfg.Seed)
@@ -217,7 +230,9 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		})
 	}
 	s.After(sim.Exponential(rng, 1/cfg.ArrivalRate), arrive)
-	s.RunUntil(cfg.Duration)
+	if err := runUntilCtx(ctx, s, cfg.Duration); err != nil {
+		return ChurnResult{}, err
+	}
 	accumulate()
 
 	res.Utilization = col.AggregateThroughput(cfg.Duration).BitsPerSecond() / cfg.LinkRate.BitsPerSecond()

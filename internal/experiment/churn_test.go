@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"bufqos/internal/packet"
@@ -46,7 +47,7 @@ func baseChurn() ChurnConfig {
 }
 
 func TestChurnBasicRun(t *testing.T) {
-	res, err := RunChurn(baseChurn())
+	res, err := RunChurn(context.Background(), baseChurn())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestChurnBasicRun(t *testing.T) {
 func TestChurnGuaranteesSurvivePopulationChanges(t *testing.T) {
 	// The point of the experiment: every admitted (shaped) flow keeps
 	// its guarantee through arrivals and departures of its neighbours.
-	res, err := RunChurn(baseChurn())
+	res, err := RunChurn(context.Background(), baseChurn())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,14 +83,14 @@ func TestChurnGuaranteesSurvivePopulationChanges(t *testing.T) {
 func TestChurnBlockingGrowsWithLoad(t *testing.T) {
 	light := baseChurn()
 	light.ArrivalRate = 0.5
-	lres, err := RunChurn(light)
+	lres, err := RunChurn(context.Background(), light)
 	if err != nil {
 		t.Fatal(err)
 	}
 	heavy := baseChurn()
 	heavy.ArrivalRate = 10
 	heavy.MeanHold = 8
-	hres, err := RunChurn(heavy)
+	hres, err := RunChurn(context.Background(), heavy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestChurnBlockingGrowsWithLoad(t *testing.T) {
 }
 
 func TestChurnDeterministic(t *testing.T) {
-	a, err := RunChurn(baseChurn())
+	a, err := RunChurn(context.Background(), baseChurn())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunChurn(baseChurn())
+	b, err := RunChurn(context.Background(), baseChurn())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestChurnValidation(t *testing.T) {
 		{Templates: churnTemplates(), ArrivalRate: 1, MeanHold: 1},
 	}
 	for i, cfg := range bad {
-		if _, err := RunChurn(cfg); err == nil {
+		if _, err := RunChurn(context.Background(), cfg); err == nil {
 			t.Errorf("config %d accepted: %+v", i, cfg)
 		}
 	}
@@ -133,7 +134,7 @@ func TestChurnValidation(t *testing.T) {
 func TestChurnUtilizationTracksCarriedLoad(t *testing.T) {
 	// Erlang sanity: carried load ≈ mean active flows × mean per-flow
 	// rate; utilization should approximate that over the link rate.
-	res, err := RunChurn(baseChurn())
+	res, err := RunChurn(context.Background(), baseChurn())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -107,7 +107,7 @@ func TestParsedWorkloadRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Config{
+	res, err := RunConfig(Config{
 		Flows:    w.Flows,
 		Scheme:   FIFOThreshold,
 		LinkRate: w.LinkRate,

@@ -1,73 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"bufqos/internal/stats"
 	"bufqos/internal/units"
 )
-
-// RunOpts controls how the figure experiments are executed. The zero
-// value reproduces the paper's setup (5 runs, 20 simulated seconds,
-// buffers swept 0.5–5 MB, headroom 2 MB).
-type RunOpts struct {
-	// Runs is the number of independent replications (paper: 5).
-	Runs int
-	// Duration and Warmup are per-run simulated seconds.
-	Duration float64
-	Warmup   float64
-	// BaseSeed seeds run r with BaseSeed + r.
-	BaseSeed int64
-	// BufferSizes is the swept total buffer (Figures 1–6, 8–13).
-	BufferSizes []units.Bytes
-	// Headrooms is the swept headroom for Figure 7.
-	Headrooms []units.Bytes
-	// Headroom is H for the sharing schemes on buffer sweeps.
-	Headroom units.Bytes
-	// Fig7Buffer is the fixed total buffer of the Figure 7 headroom
-	// sweep (paper: 1 MB).
-	Fig7Buffer units.Bytes
-	// WarmupSet marks a zero Warmup as intentional rather than unset,
-	// suppressing the Duration/10 default.
-	WarmupSet bool
-	// Workers bounds how many simulation runs execute concurrently:
-	// 0 means GOMAXPROCS, 1 forces sequential execution. Results are
-	// identical for any worker count — each (line, x, replication) run
-	// owns its simulator and seed, and lands in a pre-assigned slot.
-	Workers int
-}
-
-func (o *RunOpts) defaults() {
-	if o.Runs == 0 {
-		o.Runs = 5
-	}
-	if o.Duration == 0 {
-		o.Duration = 20
-	}
-	if o.Warmup == 0 && !o.WarmupSet {
-		o.Warmup = o.Duration / 10
-	}
-	if o.BaseSeed == 0 {
-		o.BaseSeed = 1
-	}
-	if len(o.BufferSizes) == 0 {
-		for kb := 500; kb <= 5000; kb += 500 {
-			o.BufferSizes = append(o.BufferSizes, units.KiloBytes(float64(kb)))
-		}
-	}
-	if len(o.Headrooms) == 0 {
-		for kb := 0; kb <= 1000; kb += 100 {
-			o.Headrooms = append(o.Headrooms, units.KiloBytes(float64(kb)))
-		}
-	}
-	if o.Headroom == 0 {
-		o.Headroom = units.MegaBytes(2)
-	}
-	if o.Fig7Buffer == 0 {
-		o.Fig7Buffer = units.MegaBytes(1)
-	}
-}
 
 // Series is one labelled line of a figure.
 type Series struct {
@@ -85,11 +25,22 @@ type Figure struct {
 	Series []Series
 }
 
-// line pairs a label with a config builder and a metric extractor.
+// line pairs a label with an options builder and a metric extractor.
 type line struct {
 	label  string
-	cfg    func(x units.Bytes) Config
+	cfg    func(x units.Bytes) *Options
 	metric func(Result) float64
+}
+
+// sweepReady returns a defaulted copy of o (nil meaning all defaults)
+// suitable for the figure sweeps, leaving the caller's Options intact.
+func (o *Options) sweepReady() *Options {
+	var c Options
+	if o != nil {
+		c = *o
+	}
+	c.sweepDefaults()
+	return &c
 }
 
 // runLines sweeps xs, replicating each point opts.Runs times. The
@@ -98,7 +49,17 @@ type line struct {
 // onto opts.Workers goroutines, with every run's metric written into a
 // pre-assigned slot. The resulting Series are identical to a sequential
 // sweep for any worker count.
-func runLines(opts RunOpts, xs []units.Bytes, lines []line) ([]Series, error) {
+//
+// Cancelling ctx stops the sweep within roughly one run's duration. The
+// returned Series are then partial but well formed: every point
+// summarizes only its completed replications (empty points have
+// Summary{}), and the error is ctx.Err(). opts.Progress, when set, is
+// notified after every completed run; opts.Metrics aggregates the
+// simulation metrics of all runs.
+func runLines(ctx context.Context, opts *Options, xs []units.Bytes, lines []line) ([]Series, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nx, nr := len(xs), opts.Runs
 	series := make([]Series, len(lines))
 	for li, l := range lines {
@@ -106,29 +67,40 @@ func runLines(opts RunOpts, xs []units.Bytes, lines []line) ([]Series, error) {
 		series[li].Points = make([]stats.Summary, nx)
 	}
 	vals := make([]float64, len(lines)*nx*nr)
-	err := forEachJob(opts.Workers, len(vals), func(j int) error {
+	done := make([]bool, len(vals))
+	tracker := newProgressTracker(opts.Progress, len(vals))
+	err := forEachJob(ctx, opts.Workers, len(vals), opts.Metrics, tracker.onDone, func(j int) error {
 		li, xi, r := j/(nx*nr), (j/nr)%nx, j%nr
 		l, x := lines[li], xs[xi]
-		cfg := l.cfg(x)
-		cfg.Duration = opts.Duration
-		cfg.Warmup = opts.Warmup
-		cfg.WarmupSet = true
-		cfg.Seed = opts.BaseSeed + int64(r)
-		res, err := Run(cfg)
+		rc := l.cfg(x)
+		rc.Duration = opts.Duration
+		rc.Warmup = opts.Warmup
+		rc.warmupSet = true
+		rc.Seed = opts.Seed + int64(r)
+		rc.seedSet = true
+		rc.Metrics = opts.Metrics
+		res, err := Run(ctx, rc)
 		if err != nil {
 			return fmt.Errorf("%s at %v run %d: %w", l.label, x, r, err)
 		}
 		vals[j] = l.metric(res)
+		done[j] = true
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for li := range lines {
 		for xi := 0; xi < nx; xi++ {
 			base := (li*nx + xi) * nr
-			series[li].Points[xi] = stats.Summarize(vals[base : base+nr])
+			complete := make([]float64, 0, nr)
+			for r := 0; r < nr; r++ {
+				if done[base+r] {
+					complete = append(complete, vals[base+r])
+				}
+			}
+			series[li].Points[xi] = stats.Summarize(complete)
 		}
+	}
+	if err != nil {
+		return series, err
 	}
 	return series, nil
 }
@@ -174,9 +146,9 @@ func lossOver(ids []int) func(Result) float64 {
 	}
 }
 
-// table1Cfg returns a Config template for the Table 1 workload.
-func table1Cfg(scheme Scheme, buf, headroom units.Bytes) Config {
-	return Config{
+// table1Cfg returns run options for the Table 1 workload.
+func table1Cfg(scheme Scheme, buf, headroom units.Bytes) *Options {
+	return &Options{
 		Flows:    Table1Flows(),
 		Scheme:   scheme,
 		Buffer:   buf,
@@ -185,8 +157,8 @@ func table1Cfg(scheme Scheme, buf, headroom units.Bytes) Config {
 	}
 }
 
-func table2Cfg(scheme Scheme, buf, headroom units.Bytes) Config {
-	return Config{
+func table2Cfg(scheme Scheme, buf, headroom units.Bytes) *Options {
+	return &Options{
 		Flows:    Table2Flows(),
 		Scheme:   scheme,
 		Buffer:   buf,
@@ -197,60 +169,54 @@ func table2Cfg(scheme Scheme, buf, headroom units.Bytes) Config {
 
 // Figure1 regenerates "Aggregate throughput with threshold based buffer
 // management": utilization vs total buffer for the four §3.2 schemes.
-func Figure1(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure1(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
 	var lines []line
 	for _, s := range schemes {
 		s := s
 		lines = append(lines, line{
 			label:  s.String(),
-			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
 			metric: utilization,
 		})
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
 		ID: "fig1", Title: "Aggregate throughput with threshold based buffer management",
 		XLabel: "buffer (MB)", YLabel: "link utilization",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure2 regenerates "Loss for conformant flows with threshold based
 // buffer management".
-func Figure2(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure2(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
 	var lines []line
 	for _, s := range schemes {
 		s := s
 		lines = append(lines, line{
 			label:  s.String(),
-			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
 			metric: conformantLoss,
 		})
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
 		ID: "fig2", Title: "Loss for conformant flows with threshold based buffer management",
 		XLabel: "buffer (MB)", YLabel: "conformant loss ratio",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure3 regenerates "Throughput for non-conformant flows with
 // threshold based buffer management": flows 6 and 8 differ 5× in
 // reservation (0.4 vs 2 Mb/s); WFQ+thresholds shares excess in that
 // ratio, the others do not.
-func Figure3(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure3(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
 	var lines []line
 	for _, s := range schemes {
@@ -259,77 +225,68 @@ func Figure3(opts RunOpts) (Figure, error) {
 			flow := flow
 			lines = append(lines, line{
 				label:  fmt.Sprintf("%s flow%d", s, flow),
-				cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+				cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
 				metric: flowThroughputMbps(flow),
 			})
 		}
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
 		ID: "fig3", Title: "Throughput for non-conformant flows with threshold based buffer management",
 		XLabel: "buffer (MB)", YLabel: "throughput (Mb/s)",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure4 regenerates "Aggregate throughput with Buffer Sharing",
 // including the no-buffer-management baselines for comparison with
 // Figure 1.
-func Figure4(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure4(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	schemes := []Scheme{FIFOSharing, WFQSharing, FIFONoBM, WFQNoBM}
 	var lines []line
 	for _, s := range schemes {
 		s := s
 		lines = append(lines, line{
 			label:  s.String(),
-			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
 			metric: utilization,
 		})
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
-		ID: "fig4", Title: "Aggregate throughput with Buffer Sharing (H = " + opts.Headroom.String() + ")",
+		ID: "fig4", Title: "Aggregate throughput with Buffer Sharing (H = " + o.Headroom.String() + ")",
 		XLabel: "buffer (MB)", YLabel: "link utilization",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure5 regenerates "Loss for conformant flows in Buffer Sharing".
-func Figure5(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure5(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	schemes := []Scheme{FIFOSharing, WFQSharing}
 	var lines []line
 	for _, s := range schemes {
 		s := s
 		lines = append(lines, line{
 			label:  s.String(),
-			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
 			metric: conformantLoss,
 		})
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
-		ID: "fig5", Title: "Loss for conformant flows in Buffer Sharing (H = " + opts.Headroom.String() + ")",
+		ID: "fig5", Title: "Loss for conformant flows in Buffer Sharing (H = " + o.Headroom.String() + ")",
 		XLabel: "buffer (MB)", YLabel: "conformant loss ratio",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure6 regenerates "Throughput for non-conformant flows with Buffer
 // Sharing": with sharing, FIFO mimics WFQ's proportional split between
 // flows 6 and 8.
-func Figure6(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure6(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	schemes := []Scheme{FIFOSharing, WFQSharing}
 	var lines []line
 	for _, s := range schemes {
@@ -338,98 +295,89 @@ func Figure6(opts RunOpts) (Figure, error) {
 			flow := flow
 			lines = append(lines, line{
 				label:  fmt.Sprintf("%s flow%d", s, flow),
-				cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+				cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
 				metric: flowThroughputMbps(flow),
 			})
 		}
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
 		ID: "fig6", Title: "Throughput for non-conformant flows with Buffer Sharing",
 		XLabel: "buffer (MB)", YLabel: "throughput (Mb/s)",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure7 regenerates "Effect of varying the headroom in terms of loss
 // for conformant flows": buffer fixed at 1 MB, H swept.
-func Figure7(opts RunOpts) (Figure, error) {
-	opts.defaults()
-	buf := opts.Fig7Buffer
+func Figure7(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
+	buf := o.Fig7Buffer
 	schemes := []Scheme{FIFOSharing, WFQSharing}
 	var lines []line
 	for _, s := range schemes {
 		s := s
 		lines = append(lines, line{
 			label:  s.String(),
-			cfg:    func(h units.Bytes) Config { return table1Cfg(s, buf, h) },
+			cfg:    func(h units.Bytes) *Options { return table1Cfg(s, buf, h) },
 			metric: conformantLoss,
 		})
 	}
-	series, err := runLines(opts, opts.Headrooms, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.Headrooms, lines)
 	return Figure{
 		ID: "fig7", Title: fmt.Sprintf("Effect of varying the headroom (B = %v)", buf),
 		XLabel: "headroom (MB)", YLabel: "conformant loss ratio",
-		Xs: mbAxis(opts.Headrooms), Series: series,
-	}, nil
+		Xs: mbAxis(o.Headrooms), Series: series,
+	}, err
 }
 
 // hybridFigure builds the three-metric × buffer-sweep comparisons of
 // §4.2 shared by Figures 8–10 (Case 1) and 11–13 (Case 2).
-func hybridFigure(opts RunOpts, id, title, ylabel string, cfgOf func(Scheme, units.Bytes) Config,
-	metric func(Result) float64, extra []line) (Figure, error) {
+func hybridFigure(ctx context.Context, o *Options, id, title, ylabel string,
+	cfgOf func(Scheme, units.Bytes) *Options, metric func(Result) float64, extra []line) (Figure, error) {
 	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
 	var lines []line
 	for _, s := range schemes {
 		s := s
 		lines = append(lines, line{
 			label:  s.String(),
-			cfg:    func(x units.Bytes) Config { return cfgOf(s, x) },
+			cfg:    func(x units.Bytes) *Options { return cfgOf(s, x) },
 			metric: metric,
 		})
 	}
 	lines = append(lines, extra...)
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
 		ID: id, Title: title,
 		XLabel: "buffer (MB)", YLabel: ylabel,
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure8 regenerates "Hybrid System, Case 1: Aggregate throughput with
 // Buffer Sharing".
-func Figure8(opts RunOpts) (Figure, error) {
-	opts.defaults()
-	return hybridFigure(opts, "fig8", "Hybrid System, Case 1: Aggregate throughput with Buffer Sharing",
+func Figure8(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
+	return hybridFigure(ctx, o, "fig8", "Hybrid System, Case 1: Aggregate throughput with Buffer Sharing",
 		"link utilization",
-		func(s Scheme, x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+		func(s Scheme, x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
 		utilization, nil)
 }
 
 // Figure9 regenerates "Hybrid System, Case 1: Loss for conformant flows
 // with Buffer Sharing".
-func Figure9(opts RunOpts) (Figure, error) {
-	opts.defaults()
-	return hybridFigure(opts, "fig9", "Hybrid System, Case 1: Loss for conformant flows with Buffer Sharing",
+func Figure9(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
+	return hybridFigure(ctx, o, "fig9", "Hybrid System, Case 1: Loss for conformant flows with Buffer Sharing",
 		"conformant loss ratio",
-		func(s Scheme, x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+		func(s Scheme, x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
 		conformantLoss, nil)
 }
 
 // Figure10 regenerates "Hybrid System, Case 1: Throughput for
 // non-conformant flows with Buffer Sharing" (flows 6 and 8).
-func Figure10(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure10(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
 	var lines []line
 	for _, s := range schemes {
@@ -438,51 +386,48 @@ func Figure10(opts RunOpts) (Figure, error) {
 			flow := flow
 			lines = append(lines, line{
 				label:  fmt.Sprintf("%s flow%d", s, flow),
-				cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, opts.Headroom) },
+				cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
 				metric: flowThroughputMbps(flow),
 			})
 		}
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
 		ID: "fig10", Title: "Hybrid System, Case 1: Throughput for non-conformant flows with Buffer Sharing",
 		XLabel: "buffer (MB)", YLabel: "throughput (Mb/s)",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figure11 regenerates "Hybrid System, Case 2: Aggregate throughput
 // with Buffer Sharing" (the 30-flow Table 2 workload).
-func Figure11(opts RunOpts) (Figure, error) {
-	opts.defaults()
-	return hybridFigure(opts, "fig11", "Hybrid System, Case 2: Aggregate throughput with Buffer Sharing",
+func Figure11(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
+	return hybridFigure(ctx, o, "fig11", "Hybrid System, Case 2: Aggregate throughput with Buffer Sharing",
 		"link utilization",
-		func(s Scheme, x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+		func(s Scheme, x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
 		utilization, nil)
 }
 
 // Figure12 regenerates "Hybrid System, Case 2: Loss for conformant and
 // moderately conformant flows with Buffer Sharing" (flows 0–19).
-func Figure12(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure12(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	ids := make([]int, 20)
 	for i := range ids {
 		ids[i] = i
 	}
-	return hybridFigure(opts, "fig12", "Hybrid System, Case 2: Loss for conformant and moderately conformant flows",
+	return hybridFigure(ctx, o, "fig12", "Hybrid System, Case 2: Loss for conformant and moderately conformant flows",
 		"loss ratio (flows 0-19)",
-		func(s Scheme, x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+		func(s Scheme, x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
 		lossOver(ids), nil)
 }
 
 // Figure13 regenerates "Hybrid System, Case 2: Throughput for
 // non-conformant flows with Buffer Sharing": mean per-flow throughput
 // of the moderate (10–19) and aggressive (20–29) classes.
-func Figure13(opts RunOpts) (Figure, error) {
-	opts.defaults()
+func Figure13(ctx context.Context, opts *Options) (Figure, error) {
+	o := opts.sweepReady()
 	moderate := make([]int, 10)
 	aggressive := make([]int, 10)
 	for i := 0; i < 10; i++ {
@@ -496,29 +441,26 @@ func Figure13(opts RunOpts) (Figure, error) {
 		lines = append(lines,
 			line{
 				label:  s.String() + " moderate",
-				cfg:    func(x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+				cfg:    func(x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
 				metric: meanThroughputMbps(moderate),
 			},
 			line{
 				label:  s.String() + " aggressive",
-				cfg:    func(x units.Bytes) Config { return table2Cfg(s, x, opts.Headroom) },
+				cfg:    func(x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
 				metric: meanThroughputMbps(aggressive),
 			},
 		)
 	}
-	series, err := runLines(opts, opts.BufferSizes, lines)
-	if err != nil {
-		return Figure{}, err
-	}
+	series, err := runLines(ctx, o, o.BufferSizes, lines)
 	return Figure{
 		ID: "fig13", Title: "Hybrid System, Case 2: Throughput for non-conformant flows with Buffer Sharing",
 		XLabel: "buffer (MB)", YLabel: "mean per-flow throughput (Mb/s)",
-		Xs: mbAxis(opts.BufferSizes), Series: series,
-	}, nil
+		Xs: mbAxis(o.BufferSizes), Series: series,
+	}, err
 }
 
 // Figures maps figure IDs to their runners.
-var Figures = map[string]func(RunOpts) (Figure, error){
+var Figures = map[string]func(context.Context, *Options) (Figure, error){
 	"fig1": Figure1, "fig2": Figure2, "fig3": Figure3,
 	"fig4": Figure4, "fig5": Figure5, "fig6": Figure6, "fig7": Figure7,
 	"fig8": Figure8, "fig9": Figure9, "fig10": Figure10,

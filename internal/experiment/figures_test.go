@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,16 +10,17 @@ import (
 
 // tinyOpts keeps figure tests fast: one run, short duration, two buffer
 // points.
-func tinyOpts() RunOpts {
-	return RunOpts{
+func tinyOpts() *Options {
+	o := &Options{
 		Runs:        1,
 		Duration:    2,
-		Warmup:      0.25,
-		BaseSeed:    7,
 		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(2)},
 		Headrooms:   []units.Bytes{0, units.KiloBytes(500)},
 		Headroom:    units.KiloBytes(500),
 	}
+	WithWarmup(0.25)(o)
+	WithSeed(7)(o)
+	return o
 }
 
 func TestFigureRegistryComplete(t *testing.T) {
@@ -34,7 +36,7 @@ func TestFigureRegistryComplete(t *testing.T) {
 func TestAllFiguresRunTiny(t *testing.T) {
 	opts := tinyOpts()
 	for _, id := range FigureIDs() {
-		fig, err := Figures[id](opts)
+		fig, err := Figures[id](context.Background(), opts)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -53,7 +55,7 @@ func TestAllFiguresRunTiny(t *testing.T) {
 }
 
 func TestFigure1SeriesLabels(t *testing.T) {
-	fig, err := Figure1(tinyOpts())
+	fig, err := Figure1(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestFigure1SeriesLabels(t *testing.T) {
 
 func TestFigure7SweepsHeadroom(t *testing.T) {
 	opts := tinyOpts()
-	fig, err := Figure7(opts)
+	fig, err := Figure7(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestFigure7SweepsHeadroom(t *testing.T) {
 }
 
 func TestWriteTableFormat(t *testing.T) {
-	fig, err := Figure2(tinyOpts())
+	fig, err := Figure2(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestWriteTableFormat(t *testing.T) {
 }
 
 func TestWriteCSVFormat(t *testing.T) {
-	fig, err := Figure5(tinyOpts())
+	fig, err := Figure5(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,9 +136,9 @@ func TestCSVEscape(t *testing.T) {
 	}
 }
 
-func TestRunOptsDefaults(t *testing.T) {
-	var o RunOpts
-	o.defaults()
+func TestSweepDefaults(t *testing.T) {
+	var o Options
+	o.sweepDefaults()
 	if o.Runs != 5 || o.Duration != 20 || o.Warmup != 2 {
 		t.Errorf("defaults = %+v", o)
 	}

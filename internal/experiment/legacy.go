@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"context"
+
+	"bufqos/internal/units"
+)
+
+// Config is the legacy single-run configuration.
+//
+// Deprecated: use Options (NewOptions + functional options). Config
+// remains as a thin conversion layer so pre-Options callers keep
+// compiling; RunConfig executes one.
+type Config struct {
+	Flows    []FlowConfig
+	Scheme   Scheme
+	LinkRate units.Rate
+	Buffer   units.Bytes
+	Headroom units.Bytes
+	QueueOf  []int
+	Duration float64
+	Warmup   float64
+	// WarmupSet marks a zero Warmup as intentional rather than unset.
+	// The Options API replaces it with WithWarmup(0).
+	WarmupSet   bool
+	Seed        int64
+	PacketSize  units.Bytes
+	DynAlpha    float64
+	TrackDelays bool
+}
+
+// Options converts the legacy Config to the Options it describes. A
+// zero Seed stays zero (the legacy contract), and WarmupSet carries
+// over to the private explicit-zero flag.
+func (c Config) Options() *Options {
+	return &Options{
+		Flows:       c.Flows,
+		Scheme:      c.Scheme,
+		LinkRate:    c.LinkRate,
+		Buffer:      c.Buffer,
+		Headroom:    c.Headroom,
+		QueueOf:     c.QueueOf,
+		Duration:    c.Duration,
+		Warmup:      c.Warmup,
+		Seed:        c.Seed,
+		PacketSize:  c.PacketSize,
+		DynAlpha:    c.DynAlpha,
+		TrackDelays: c.TrackDelays,
+		warmupSet:   c.WarmupSet,
+		seedSet:     true,
+	}
+}
+
+// RunConfig executes one simulation described by a legacy Config.
+//
+// Deprecated: use Run(ctx, opts) with an Options.
+func RunConfig(cfg Config) (Result, error) {
+	return Run(context.Background(), cfg.Options())
+}
+
+// RunOpts is the legacy sweep configuration.
+//
+// Deprecated: use Options — its Runs/BufferSizes/Headrooms/Workers
+// fields and WithWarmup/WithSeed options cover everything RunOpts did.
+type RunOpts struct {
+	Runs        int
+	Duration    float64
+	Warmup      float64
+	BaseSeed    int64
+	BufferSizes []units.Bytes
+	Headrooms   []units.Bytes
+	Headroom    units.Bytes
+	Fig7Buffer  units.Bytes
+	// WarmupSet marks a zero Warmup as intentional rather than unset.
+	WarmupSet bool
+	Workers   int
+}
+
+// Options converts the legacy RunOpts to an Options. A zero BaseSeed
+// maps to the default seed (1), matching the old defaults.
+func (o RunOpts) Options() *Options {
+	out := &Options{
+		Runs:        o.Runs,
+		Duration:    o.Duration,
+		Warmup:      o.Warmup,
+		Seed:        o.BaseSeed,
+		BufferSizes: o.BufferSizes,
+		Headrooms:   o.Headrooms,
+		Headroom:    o.Headroom,
+		Fig7Buffer:  o.Fig7Buffer,
+		Workers:     o.Workers,
+		warmupSet:   o.WarmupSet,
+	}
+	return out
+}

@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"bufqos/internal/units"
 )
@@ -17,7 +20,7 @@ func table1Lines(metric func(Result) float64) []line {
 		s := s
 		lines = append(lines, line{
 			label:  s.String(),
-			cfg:    func(x units.Bytes) Config { return table1Cfg(s, x, 0) },
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
 			metric: metric,
 		})
 	}
@@ -28,24 +31,24 @@ func table1Lines(metric func(Result) float64) []line {
 // sweep onto 8 workers produces byte-identical Series to a sequential
 // sweep: same labels, same points, bit-equal floats.
 func TestParallelRunLinesMatchesSequential(t *testing.T) {
-	opts := RunOpts{
+	opts := &Options{
 		Runs:        3,
 		Duration:    2,
-		Warmup:      0.25,
-		BaseSeed:    7,
 		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(2)},
 	}
+	WithWarmup(0.25)(opts)
+	WithSeed(7)(opts)
 	opts.defaults()
 
-	seq := opts
+	seq := *opts
 	seq.Workers = 1
-	want, err := runLines(seq, seq.BufferSizes, table1Lines(utilization))
+	want, err := runLines(context.Background(), &seq, seq.BufferSizes, table1Lines(utilization))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par := opts
+	par := *opts
 	par.Workers = 8
-	got, err := runLines(par, par.BufferSizes, table1Lines(utilization))
+	got, err := runLines(context.Background(), &par, par.BufferSizes, table1Lines(utilization))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +75,11 @@ func TestParallelChurnSweepMatchesSequential(t *testing.T) {
 		Seed:     3,
 	}
 	rates := []float64{1, 4}
-	want, err := SweepChurn(base, rates, 2, 1)
+	want, err := SweepChurn(context.Background(), base, rates, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := SweepChurn(base, rates, 2, 8)
+	got, err := SweepChurn(context.Background(), base, rates, 2, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func TestParallelErrorDeterministic(t *testing.T) {
 	errA := errors.New("job 2 failed")
 	errB := errors.New("job 7 failed")
 	for _, workers := range []int{1, 4} {
-		err := forEachJob(workers, 10, func(i int) error {
+		err := forEachJob(context.Background(), workers, 10, nil, nil, func(i int) error {
 			switch i {
 			case 2:
 				return errA
@@ -105,7 +108,7 @@ func TestParallelErrorDeterministic(t *testing.T) {
 		}
 	}
 	var ran atomic.Int64
-	if err := forEachJob(4, 100, func(i int) error {
+	if err := forEachJob(context.Background(), 4, 100, nil, nil, func(i int) error {
 		ran.Add(1)
 		return errA
 	}); err == nil {
@@ -116,31 +119,165 @@ func TestParallelErrorDeterministic(t *testing.T) {
 	}
 }
 
-// TestConfigExplicitZeroWarmup is the regression test for the defaults
-// bug: a deliberate zero warmup used to be silently replaced with
-// Duration/10.
-func TestConfigExplicitZeroWarmup(t *testing.T) {
-	c := Config{Duration: 10}
+// TestPoolCancellation cancels a sweep mid-flight and verifies the three
+// promises of the context-aware pool: it returns promptly (within about
+// one run, not the whole sweep), leaks no goroutines, and leaves the
+// already-completed slots' results intact.
+func TestPoolCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	const n = 64
+	done := make([]bool, n)
+	var completed atomic.Int64
+	err := forEachJob(ctx, 4, n, nil, nil, func(i int) error {
+		if completed.Add(1) == 8 {
+			cancel() // cancel once a handful of jobs have finished
+		}
+		time.Sleep(2 * time.Millisecond)
+		done[i] = true
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got error %v, want context.Canceled", err)
+	}
+	finished := 0
+	for _, d := range done {
+		if d {
+			finished++
+		}
+	}
+	if finished == 0 || finished == n {
+		t.Errorf("finished %d/%d jobs; want a proper partial prefix", finished, n)
+	}
+	// All workers must have exited: no goroutine leak. Allow a little
+	// slack for runtime background goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("%d goroutines after cancelled pool, started with %d", g, before)
+	}
+}
+
+// TestSweepCancellationPartialResults cancels a figure sweep mid-run and
+// checks the partial Series: well-formed shape, completed points kept,
+// prompt return bounded by roughly one run's duration.
+func TestSweepCancellationPartialResults(t *testing.T) {
+	opts := &Options{
+		Runs:        2,
+		Duration:    2,
+		Workers:     2,
+		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(1), units.MegaBytes(2)},
+	}
+	WithWarmup(0.2)(opts)
+	opts.defaults()
+
+	var seen atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts.Progress = func(p Progress) {
+		if seen.Add(1) == 3 {
+			cancel()
+		}
+	}
+	start := time.Now()
+	series, err := runLines(ctx, opts, opts.BufferSizes, table1Lines(utilization))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got error %v, want context.Canceled", err)
+	}
+	// A full sequential sweep is 4 lines × 3 points × 2 runs = 24 runs;
+	// cancellation after ~3 must return long before that.
+	if elapsed > 15*time.Second {
+		t.Errorf("cancelled sweep took %v", elapsed)
+	}
+	if len(series) != 4 {
+		t.Fatalf("got %d series, want 4 (one per scheme)", len(series))
+	}
+	total, populated := 0, 0
+	for _, s := range series {
+		if len(s.Points) != len(opts.BufferSizes) {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Points), len(opts.BufferSizes))
+		}
+		for _, p := range s.Points {
+			total++
+			if p.N > 0 {
+				populated++
+				if p.Mean <= 0 || p.Mean > 1.01 {
+					t.Errorf("series %q has nonsense utilization %v", s.Label, p.Mean)
+				}
+			}
+		}
+	}
+	if populated == total {
+		t.Error("every point fully populated — cancellation did nothing")
+	}
+}
+
+// TestOptionsDefaults pins the defaults contract of the redesigned API:
+// the zero Options reproduces the paper's setup, WithWarmup(0) and
+// WithSeed(0) are honored as explicit zeros, and the deprecated
+// Config/RunOpts shims convert faithfully.
+func TestOptionsDefaults(t *testing.T) {
+	o := NewOptions()
+	o.defaults()
+	if o.Duration != 20 || o.Warmup != 2 || o.Seed != 1 || o.Runs != 5 {
+		t.Errorf("zero Options defaulted to duration=%v warmup=%v seed=%v runs=%v",
+			o.Duration, o.Warmup, o.Seed, o.Runs)
+	}
+	if len(o.BufferSizes) != 10 || o.Fig7Buffer != units.MegaBytes(1) {
+		t.Errorf("sweep axes: %d buffer sizes, fig7 buffer %v", len(o.BufferSizes), o.Fig7Buffer)
+	}
+	if o.Headroom != 0 {
+		t.Errorf("single-run headroom defaulted to %v, want 0", o.Headroom)
+	}
+	s := NewOptions()
+	s.sweepDefaults()
+	if s.Headroom != units.MegaBytes(2) {
+		t.Errorf("sweep headroom %v, want the paper's 2 MB", s.Headroom)
+	}
+
+	z := NewOptions(WithDuration(10), WithWarmup(0), WithSeed(0))
+	z.defaults()
+	if z.Warmup != 0 {
+		t.Errorf("WithWarmup(0) overwritten to %v", z.Warmup)
+	}
+	if z.Seed != 0 {
+		t.Errorf("WithSeed(0) overwritten to %v", z.Seed)
+	}
+
+	c := Config{Duration: 10}.Options()
 	c.defaults()
 	if c.Warmup != 1 {
-		t.Errorf("unset warmup defaulted to %v, want Duration/10 = 1", c.Warmup)
+		t.Errorf("unset shim warmup defaulted to %v, want Duration/10 = 1", c.Warmup)
 	}
-	c = Config{Duration: 10, WarmupSet: true}
+	c = Config{Duration: 10, WarmupSet: true}.Options()
 	c.defaults()
 	if c.Warmup != 0 {
-		t.Errorf("explicit zero warmup overwritten to %v", c.Warmup)
+		t.Errorf("shim explicit zero warmup overwritten to %v", c.Warmup)
+	}
+	if c.Seed != 0 {
+		t.Errorf("shim zero seed overwritten to %v (legacy Config treats 0 literally)", c.Seed)
 	}
 
-	o := RunOpts{WarmupSet: true}
-	o.defaults()
-	if o.Warmup != 0 {
-		t.Errorf("explicit zero RunOpts warmup overwritten to %v", o.Warmup)
+	r := RunOpts{BaseSeed: 9, Workers: 3, WarmupSet: true}.Options()
+	r.defaults()
+	if r.Seed != 9 || r.Workers != 3 || r.Warmup != 0 {
+		t.Errorf("RunOpts shim lost fields: seed=%v workers=%v warmup=%v", r.Seed, r.Workers, r.Warmup)
 	}
+}
 
-	// End to end: measuring from t=0 must count strictly more offered
-	// bytes than discarding a warmup prefix.
+// TestConfigExplicitZeroWarmup is the regression test for the defaults
+// bug: a deliberate zero warmup used to be silently replaced with
+// Duration/10. It runs end to end through the deprecated shim.
+func TestConfigExplicitZeroWarmup(t *testing.T) {
+	// Measuring from t=0 must count strictly more offered bytes than
+	// discarding a warmup prefix.
 	mk := func(warmupSet bool) Result {
-		res, err := Run(Config{
+		res, err := RunConfig(Config{
 			Flows:     Table1Flows(),
 			Scheme:    FIFOThreshold,
 			Buffer:    units.MegaBytes(1),

@@ -1,15 +1,18 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"bufqos/internal/buffer"
 	"bufqos/internal/core"
+	"bufqos/internal/metrics"
 	"bufqos/internal/packet"
 	"bufqos/internal/sched"
 	"bufqos/internal/sim"
 	"bufqos/internal/source"
 	"bufqos/internal/stats"
+	"bufqos/internal/trace"
 	"bufqos/internal/units"
 )
 
@@ -97,52 +100,6 @@ func (s Scheme) String() string {
 	}
 }
 
-// Config describes one simulation run.
-type Config struct {
-	Flows    []FlowConfig
-	Scheme   Scheme
-	LinkRate units.Rate
-	Buffer   units.Bytes
-	// Headroom is H for the sharing schemes (the paper's default in
-	// §3.3 is 2 MB).
-	Headroom units.Bytes
-	// QueueOf maps flows to queues for HybridSharing.
-	QueueOf []int
-	// Duration is the simulated time; Warmup the discarded prefix.
-	Duration float64
-	Warmup   float64
-	// WarmupSet marks a zero Warmup as intentional rather than unset,
-	// suppressing the Duration/10 default.
-	WarmupSet bool
-	// Seed drives all randomness of the run.
-	Seed int64
-	// PacketSize defaults to DefaultPacketSize.
-	PacketSize units.Bytes
-	// DynAlpha is α for FIFODynamicThreshold (default 1).
-	DynAlpha float64
-	// TrackDelays enables per-flow queueing-delay measurement (slower;
-	// off by default).
-	TrackDelays bool
-}
-
-func (c *Config) defaults() {
-	if c.LinkRate == 0 {
-		c.LinkRate = DefaultLinkRate
-	}
-	if c.PacketSize == 0 {
-		c.PacketSize = DefaultPacketSize
-	}
-	if c.Duration == 0 {
-		c.Duration = 20
-	}
-	if c.Warmup == 0 && !c.WarmupSet {
-		c.Warmup = c.Duration / 10
-	}
-	if c.DynAlpha == 0 {
-		c.DynAlpha = 1
-	}
-}
-
 // Result holds the measurements of one run.
 type Result struct {
 	// AggThroughput is the delivered rate across all flows.
@@ -160,16 +117,49 @@ type Result struct {
 	// multiplexer) per flow.
 	OfferedRate []units.Rate
 	// MaxDelay and MeanDelay summarize multiplexer queueing delay in
-	// seconds across all flows (zero unless Config.TrackDelays).
+	// seconds across all flows (zero unless Options.TrackDelays).
 	MaxDelay  float64
 	MeanDelay float64
 	// FlowMaxDelay is the per-flow worst queueing delay (nil unless
-	// Config.TrackDelays).
+	// Options.TrackDelays).
 	FlowMaxDelay []float64
 }
 
-// Run executes one simulation and returns its measurements.
-func Run(cfg Config) (Result, error) {
+// runEventBuckets are the histogram bounds for events-per-run: runs
+// range from a few thousand events (short unit-test configs) to tens of
+// millions (long sweeps), so exponential buckets from 1k up cover the
+// span in factor-of-2 resolution.
+var runEventBuckets = metrics.ExpBuckets(1024, 2, 16)
+
+// runUntilCtx advances the simulation to duration, checking ctx between
+// chunks of simulated time so a cancelled context interrupts a run
+// mid-flight. The chunk boundaries are exact fractions of duration and
+// every event at or before duration fires exactly as in an unchunked
+// RunUntil, so results are bit-identical with and without a cancellable
+// context. Returns ctx.Err() when interrupted.
+func runUntilCtx(ctx context.Context, s *sim.Simulator, duration float64) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.RunUntil(duration)
+		return nil
+	}
+	const chunks = 64
+	for i := 1; i <= chunks; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.RunUntil(duration * float64(i) / chunks)
+	}
+	return ctx.Err()
+}
+
+// Run executes one simulation and returns its measurements. The context
+// cancels a run mid-flight (Run then returns ctx.Err()); o is read-only
+// and may be shared across concurrent Runs. When o.Metrics is set, the
+// kernel, buffer manager, and scheduler publish counters into it, and
+// o.TraceInterval/TraceWriter additionally sample those metrics
+// periodically, flushing the series as CSV even on a cancelled run.
+func Run(ctx context.Context, o *Options) (Result, error) {
+	cfg := *o
 	cfg.defaults()
 	if len(cfg.Flows) == 0 {
 		return Result{}, fmt.Errorf("experiment: no flows")
@@ -216,7 +206,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	case HybridSharing:
 		var err error
-		mgr, scheduler, err = buildHybrid(cfg, s, specs)
+		mgr, scheduler, err = buildHybrid(&cfg, s, specs)
 		if err != nil {
 			return Result{}, err
 		}
@@ -274,6 +264,13 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	link := sched.NewLink(s, cfg.LinkRate, scheduler, mgr, col)
+	if cfg.Metrics != nil {
+		s.Instrument(cfg.Metrics)
+		if in, ok := mgr.(buffer.Instrumentable); ok {
+			in.Instrument(cfg.Metrics, "buffer")
+		}
+		link.Instrument(cfg.Metrics, cfg.Scheme.String())
+	}
 	for i, f := range cfg.Flows {
 		rng := sim.NewRand(sim.DeriveSeed(cfg.Seed, i))
 		var sink source.Sink
@@ -295,7 +292,28 @@ func Run(cfg Config) (Result, error) {
 		}, sink)
 		src.Start()
 	}
-	s.RunUntil(cfg.Duration)
+
+	// The metrics sampler starts after instrumentation so every column
+	// name already exists in the registry.
+	var sampler *trace.Sampler
+	if cfg.Metrics != nil && cfg.TraceInterval > 0 && cfg.TraceWriter != nil {
+		sampler = trace.NewMetricsSampler(s, cfg.TraceInterval, cfg.Metrics, cfg.Metrics.Names())
+		sampler.Start()
+	}
+	runErr := runUntilCtx(ctx, s, cfg.Duration)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Histogram("experiment.run_events", runEventBuckets).Observe(float64(s.Steps()))
+	}
+	if sampler != nil {
+		// Flush the series even for a cancelled run: a partial trace is
+		// exactly what an interrupted experiment wants to keep.
+		if err := sampler.WriteCSV(cfg.TraceWriter); err != nil && runErr == nil {
+			runErr = fmt.Errorf("experiment: writing trace: %w", err)
+		}
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
 
 	res := Result{
 		AggThroughput:  col.AggregateThroughput(cfg.Duration),
@@ -365,7 +383,7 @@ func delayClasses(specs []packet.FlowSpec) []int {
 // allocation across queues, buffer partitioning in proportion to the
 // per-queue minimum requirements, per-flow thresholds within queues,
 // and a sharing manager per queue.
-func buildHybrid(cfg Config, s *sim.Simulator, specs []packet.FlowSpec) (buffer.Manager, sched.Scheduler, error) {
+func buildHybrid(cfg *Options, s *sim.Simulator, specs []packet.FlowSpec) (buffer.Manager, sched.Scheduler, error) {
 	if len(cfg.QueueOf) != len(cfg.Flows) {
 		return nil, nil, fmt.Errorf("experiment: hybrid needs QueueOf for every flow")
 	}

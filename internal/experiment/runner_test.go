@@ -33,7 +33,7 @@ func TestRunAllSchemesSmoke(t *testing.T) {
 		DRRThreshold, EDFThreshold, VCThreshold,
 	}
 	for _, s := range schemes {
-		res, err := Run(quickCfg(s, units.MegaBytes(1)))
+		res, err := RunConfig(quickCfg(s, units.MegaBytes(1)))
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -52,11 +52,11 @@ func TestRunAllSchemesSmoke(t *testing.T) {
 }
 
 func TestRunDeterministicPerSeed(t *testing.T) {
-	a, err := Run(quickCfg(FIFOThreshold, units.MegaBytes(1)))
+	a, err := RunConfig(quickCfg(FIFOThreshold, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(quickCfg(FIFOThreshold, units.MegaBytes(1)))
+	b, err := RunConfig(quickCfg(FIFOThreshold, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 	}
 	c := quickCfg(FIFOThreshold, units.MegaBytes(1))
 	c.Seed = 2
-	b2, err := Run(c)
+	b2, err := RunConfig(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +77,11 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 func TestThresholdsProtectConformantFlows(t *testing.T) {
 	// The core claim of the paper: with enough buffer, FIFO+thresholds
 	// drives conformant loss to ≈0 while plain FIFO keeps losing.
-	noBM, err := Run(quickCfg(FIFONoBM, units.MegaBytes(1)))
+	noBM, err := RunConfig(quickCfg(FIFONoBM, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	thr, err := Run(quickCfg(FIFOThreshold, units.MegaBytes(1)))
+	thr, err := RunConfig(quickCfg(FIFOThreshold, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +96,11 @@ func TestThresholdsProtectConformantFlows(t *testing.T) {
 func TestNoBMFillsLinkAtSmallBuffer(t *testing.T) {
 	// Figure 1's left edge: plain FIFO hits ~90% utilization with just
 	// 500 KB while FIFO+thresholds is visibly below it.
-	noBM, err := Run(quickCfg(FIFONoBM, units.KiloBytes(500)))
+	noBM, err := RunConfig(quickCfg(FIFONoBM, units.KiloBytes(500)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	thr, err := Run(quickCfg(FIFOThreshold, units.KiloBytes(500)))
+	thr, err := RunConfig(quickCfg(FIFOThreshold, units.KiloBytes(500)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +116,11 @@ func TestNoBMFillsLinkAtSmallBuffer(t *testing.T) {
 func TestSharingRecoversUtilization(t *testing.T) {
 	// Figure 4 vs Figure 1: sharing beats fixed partitioning at equal
 	// buffer.
-	fixed, err := Run(quickCfg(FIFOThreshold, units.MegaBytes(1)))
+	fixed, err := RunConfig(quickCfg(FIFOThreshold, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	share, err := Run(quickCfg(FIFOSharing, units.MegaBytes(1)))
+	share, err := RunConfig(quickCfg(FIFOSharing, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestWFQSharesExcessProportionally(t *testing.T) {
 	// excess ∝ reservations (0.4 vs 2.0 Mb/s → ratio 5).
 	cfg := quickCfg(WFQThreshold, units.MegaBytes(3))
 	cfg.Duration = 8
-	res, err := Run(cfg)
+	res, err := RunConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +149,11 @@ func TestWFQSharesExcessProportionally(t *testing.T) {
 func TestHybridTracksWFQ(t *testing.T) {
 	// Figures 8–9: the 3-queue hybrid stays close to per-flow WFQ with
 	// sharing on both utilization and conformant loss.
-	wfq, err := Run(quickCfg(WFQSharing, units.MegaBytes(1)))
+	wfq, err := RunConfig(quickCfg(WFQSharing, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyb, err := Run(quickCfg(HybridSharing, units.MegaBytes(1)))
+	hyb, err := RunConfig(quickCfg(HybridSharing, units.MegaBytes(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,15 +166,15 @@ func TestHybridTracksWFQ(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := Run(Config{}); err == nil {
+	if _, err := RunConfig(Config{}); err == nil {
 		t.Error("empty config accepted")
 	}
 	bad := quickCfg(HybridSharing, units.MegaBytes(1))
 	bad.QueueOf = []int{0}
-	if _, err := Run(bad); err == nil {
+	if _, err := RunConfig(bad); err == nil {
 		t.Error("mismatched QueueOf accepted")
 	}
-	if _, err := Run(quickCfg(Scheme(42), units.MegaBytes(1))); err == nil {
+	if _, err := RunConfig(quickCfg(Scheme(42), units.MegaBytes(1))); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
@@ -198,7 +198,7 @@ func TestOfferedRatesMatchTable(t *testing.T) {
 	// their token rate ≈ avg rate; aggressive flows at their avg rate).
 	cfg := quickCfg(FIFONoBM, units.MegaBytes(5))
 	cfg.Duration = 12
-	res, err := Run(cfg)
+	res, err := RunConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestFIFODelayBoundedByBufferDrainTime(t *testing.T) {
 	// buffer bounds delay by 167 ms.
 	cfg := quickCfg(FIFONoBM, units.MegaBytes(1))
 	cfg.TrackDelays = true
-	res, err := Run(cfg)
+	res, err := RunConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestOC48DelayClaim(t *testing.T) {
 		flows[i].Spec.TokenRate *= 50
 		flows[i].AvgRate *= 50
 	}
-	res, err := Run(Config{
+	res, err := RunConfig(Config{
 		Flows:       flows,
 		Scheme:      FIFONoBM,
 		LinkRate:    units.Rate(2.4e9),
@@ -282,13 +282,13 @@ func TestRPQSchemeUrgentDelaySeparation(t *testing.T) {
 	// load — the ablation claim behind including reference [10].
 	fifoCfg := quickCfg(FIFOThreshold, units.MegaBytes(2))
 	fifoCfg.TrackDelays = true
-	fifo, err := Run(fifoCfg)
+	fifo, err := RunConfig(fifoCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rpqCfg := quickCfg(RPQThreshold, units.MegaBytes(2))
 	rpqCfg.TrackDelays = true
-	rpq, err := Run(rpqCfg)
+	rpq, err := RunConfig(rpqCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,12 +309,12 @@ func TestAdaptiveSharingRestrainsAggressors(t *testing.T) {
 	// deliver less than under plain sharing, while conformant flows
 	// remain protected.
 	shareCfg := quickCfg(FIFOSharing, units.MegaBytes(3))
-	share, err := Run(shareCfg)
+	share, err := RunConfig(shareCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	adCfg := quickCfg(FIFOAdaptiveSharing, units.MegaBytes(3))
-	ad, err := Run(adCfg)
+	ad, err := RunConfig(adCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestMixedPacketSizesProtected(t *testing.T) {
 			Conformance: Aggressive, PacketSize: 500,
 		},
 	}
-	res, err := Run(Config{
+	res, err := RunConfig(Config{
 		Flows:    flows,
 		Scheme:   FIFOThreshold,
 		Buffer:   units.MegaBytes(1),

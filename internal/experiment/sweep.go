@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"bufqos/internal/units"
@@ -9,9 +10,10 @@ import (
 // SweepWorkload runs the Figure-1/Figure-2 style buffer sweep for an
 // arbitrary workload (e.g. one loaded from a JSON file): it returns a
 // utilization figure and a conformant-loss figure over opts.BufferSizes
-// for the given schemes.
-func SweepWorkload(w *Workload, schemes []Scheme, opts RunOpts) (util Figure, loss Figure, err error) {
-	opts.defaults()
+// for the given schemes. Cancelling ctx returns the partial figures
+// computed so far together with ctx.Err().
+func SweepWorkload(ctx context.Context, w *Workload, schemes []Scheme, opts *Options) (util Figure, loss Figure, err error) {
+	o := opts.sweepReady()
 	if len(schemes) == 0 {
 		schemes = []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM}
 	}
@@ -21,13 +23,13 @@ func SweepWorkload(w *Workload, schemes []Scheme, opts RunOpts) (util Figure, lo
 			s := s
 			lines = append(lines, line{
 				label: s.String(),
-				cfg: func(x units.Bytes) Config {
-					return Config{
+				cfg: func(x units.Bytes) *Options {
+					return &Options{
 						Flows:    w.Flows,
 						Scheme:   s,
 						LinkRate: w.LinkRate,
 						Buffer:   x,
-						Headroom: opts.Headroom,
+						Headroom: o.Headroom,
 						QueueOf:  w.QueueOf,
 					}
 				},
@@ -40,25 +42,22 @@ func SweepWorkload(w *Workload, schemes []Scheme, opts RunOpts) (util Figure, lo
 	if name == "" {
 		name = fmt.Sprintf("%d flows", len(w.Flows))
 	}
-	us, err := runLines(opts, opts.BufferSizes, mkLines(utilization))
-	if err != nil {
-		return Figure{}, Figure{}, err
-	}
+	us, err := runLines(ctx, o, o.BufferSizes, mkLines(utilization))
 	util = Figure{
 		ID: "sweep-util", Title: "Aggregate throughput — " + name,
 		XLabel: "buffer (MB)", YLabel: "link utilization",
-		Xs: mbAxis(opts.BufferSizes), Series: us,
+		Xs: mbAxis(o.BufferSizes), Series: us,
 	}
-	ls, err := runLines(opts, opts.BufferSizes, mkLines(conformantLoss))
 	if err != nil {
-		return Figure{}, Figure{}, err
+		return util, Figure{}, err
 	}
+	ls, err := runLines(ctx, o, o.BufferSizes, mkLines(conformantLoss))
 	loss = Figure{
 		ID: "sweep-loss", Title: "Conformant loss — " + name,
 		XLabel: "buffer (MB)", YLabel: "conformant loss ratio",
-		Xs: mbAxis(opts.BufferSizes), Series: ls,
+		Xs: mbAxis(o.BufferSizes), Series: ls,
 	}
-	return util, loss, nil
+	return util, loss, err
 }
 
 // SchemeByName resolves a scheme label (as printed by Scheme.String)

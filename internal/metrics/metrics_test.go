@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryFastPath asserts the whole disabled path is inert: a
+// nil registry hands out nil handles and every handle method is a
+// no-op rather than a panic.
+func TestNilRegistryFastPath(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil handles: %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles reported non-zero values")
+	}
+	if _, ok := r.Value("c"); ok {
+		t.Error("nil registry resolved a value")
+	}
+	if names := r.Names(); names != nil {
+		t.Errorf("nil registry has names %v", names)
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Errorf("counter = %d, want 10", got)
+	}
+	if again := r.Counter("events"); again != c {
+		t.Error("same name returned a different counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 5 {
+		t.Errorf("gauge value/max = %d/%d, want 2/5", g.Value(), g.Max())
+	}
+	g.Add(10)
+	if g.Value() != 12 || g.Max() != 12 {
+		t.Errorf("gauge after Add = %d/%d, want 12/12", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	// v <= bound goes into that bucket: {5,10}, {11,500... no: 11<=100,
+	// 500<=1000}, overflow {5000}.
+	want := []int64{2, 1, 1, 1}
+	if got := h.BucketCounts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("bucket counts = %v, want %v", got, want)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5+10+11+500+5000 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func TestValueAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(7)
+	r.Gauge("a.level").Set(3)
+	r.Histogram("c.hist", []float64{1}).Observe(0.5)
+	if v, ok := r.Value("b.count"); !ok || v != 7 {
+		t.Errorf("Value(b.count) = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("a.level"); !ok || v != 3 {
+		t.Errorf("Value(a.level) = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("c.hist"); !ok || v != 1 {
+		t.Errorf("Value(c.hist) = %v,%v", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Error("missing name resolved")
+	}
+	want := []string{"a.level", "b.count", "c.hist"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentAggregation checks the commutativity claim the worker
+// pool relies on: N goroutines adding into shared metrics produce the
+// same totals as one.
+func TestConcurrentAggregation(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n")
+			g := r.Gauge("level")
+			h := r.Histogram("obs", []float64{0.5})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("level").Max(); got != per-1 {
+		t.Errorf("gauge max = %d, want %d", got, per-1)
+	}
+	if got := r.Histogram("obs", nil).Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(3)
+	r.Gauge("occ").Set(42)
+	r.Histogram("wait", []float64{1, 10}).Observe(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if back.Counters["runs"] != 3 {
+		t.Errorf("counters lost: %+v", back)
+	}
+	if back.Gauges["occ"].Value != 42 || back.Gauges["occ"].Max != 42 {
+		t.Errorf("gauges lost: %+v", back)
+	}
+	if h := back.Histograms["wait"]; h.Count != 1 || len(h.Counts) != 3 {
+		t.Errorf("histograms lost: %+v", back)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -340,8 +341,9 @@ type Result struct {
 }
 
 // Run regenerates each figure once and evaluates every check against
-// it, writing a line per check to w.
-func Run(opts experiment.RunOpts, w io.Writer) ([]Result, error) {
+// it, writing a line per check to w. Cancelling ctx aborts between (or
+// inside) figure regenerations.
+func Run(ctx context.Context, opts *experiment.Options, w io.Writer) ([]Result, error) {
 	checks := Checks()
 	// Group checks by figure so each figure is simulated once.
 	byFig := map[string][]Check{}
@@ -354,7 +356,7 @@ func Run(opts experiment.RunOpts, w io.Writer) ([]Result, error) {
 		if len(cs) == 0 {
 			continue
 		}
-		fig, err := experiment.Figures[id](opts)
+		fig, err := experiment.Figures[id](ctx, opts)
 		if err != nil {
 			return nil, fmt.Errorf("regenerating %s: %w", id, err)
 		}

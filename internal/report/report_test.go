@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -164,18 +165,18 @@ func TestCase2LossCheck(t *testing.T) {
 func TestRunEndToEndTiny(t *testing.T) {
 	// Full pipeline at tiny scale: every check must PASS against real
 	// simulations. This is the repository's own reproduction gate.
-	opts := experiment.RunOpts{
+	opts := &experiment.Options{
 		Runs:        1,
 		Duration:    6,
-		Warmup:      0.6,
-		BaseSeed:    5,
 		BufferSizes: []units.Bytes{units.KiloBytes(500), units.MegaBytes(1), units.MegaBytes(2)},
 		Headrooms:   []units.Bytes{0, units.KiloBytes(150), units.KiloBytes(300)},
 		Headroom:    units.KiloBytes(500),
 		Fig7Buffer:  units.KiloBytes(250),
 	}
+	experiment.WithWarmup(0.6)(opts)
+	experiment.WithSeed(5)(opts)
 	var b strings.Builder
-	results, err := Run(opts, &b)
+	results, err := Run(context.Background(), opts, &b)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"bufqos/internal/metrics"
 	"bufqos/internal/packet"
 	"bufqos/internal/units"
 )
@@ -37,6 +38,9 @@ func NewHybrid(rate units.Rate, now func() float64, queueOf []int, queueRates []
 		queueOf: append([]int(nil), queueOf...),
 	}
 }
+
+// Instrument delegates to the inner WFQ's virtual-time counter.
+func (h *Hybrid) Instrument(r *metrics.Registry) { h.wfq.Instrument(r) }
 
 // QueueOf returns the queue index a flow is assigned to.
 func (h *Hybrid) QueueOf(flow int) int { return h.queueOf[flow] }

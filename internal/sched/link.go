@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bufqos/internal/buffer"
+	"bufqos/internal/metrics"
 	"bufqos/internal/packet"
 	"bufqos/internal/sim"
 	"bufqos/internal/stats"
@@ -27,6 +28,24 @@ type Link struct {
 	OnDepart func(p *packet.Packet)
 	// OnDrop, if set, is called for each rejected packet.
 	OnDrop func(p *packet.Packet)
+
+	mServed      *metrics.Counter // nil unless instrumented
+	mServedBytes *metrics.Counter
+}
+
+// Instrument registers per-scheme service counters with r: packets and
+// bytes transmitted, named "sched.served_packets.<scheme>" and
+// "sched.served_bytes.<scheme>". It also instruments the scheduler
+// when it supports it (WFQ virtual-time advances).
+func (l *Link) Instrument(r *metrics.Registry, scheme string) {
+	if r == nil {
+		return
+	}
+	l.mServed = r.Counter("sched.served_packets." + scheme)
+	l.mServedBytes = r.Counter("sched.served_bytes." + scheme)
+	if in, ok := l.sched.(interface{ Instrument(*metrics.Registry) }); ok {
+		in.Instrument(r)
+	}
 }
 
 // NewLink builds a server draining sched at the given rate, with mgr
@@ -83,6 +102,8 @@ func (l *Link) startNext() {
 	l.busy = true
 	l.sim.After(units.TransmissionTime(p.Size, l.rate), func() {
 		l.mgr.Release(p.Flow, p.Size)
+		l.mServed.Inc()
+		l.mServedBytes.Add(int64(p.Size))
 		if l.col != nil {
 			l.col.Departed(p, l.sim.Now())
 		}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"bufqos/internal/metrics"
 	"bufqos/internal/packet"
 	"bufqos/internal/units"
 )
@@ -34,6 +35,18 @@ type WFQ struct {
 	nowFn   func() float64
 	len     int
 	backlog units.Bytes
+
+	mAdvances *metrics.Counter // nil unless instrumented
+}
+
+// Instrument registers the GPS virtual-time advance counter
+// ("sched.wfq.vt_advances": how often the virtual clock moved forward)
+// with r. Multiple WFQ instances sharing a registry share the counter.
+func (w *WFQ) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	w.mAdvances = r.Counter("sched.wfq.vt_advances")
 }
 
 type wfqFlow struct {
@@ -85,6 +98,9 @@ func (w *WFQ) VirtualTime() float64 {
 func (w *WFQ) advance(t float64) {
 	if t < w.lastT {
 		panic(fmt.Sprintf("wfq: clock moved backwards: %v < %v", t, w.lastT))
+	}
+	if w.lastT < t {
+		w.mAdvances.Inc()
 	}
 	for w.lastT < t {
 		if len(w.gps) == 0 {

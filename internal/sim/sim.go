@@ -20,6 +20,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"bufqos/internal/metrics"
 )
 
 // node is one arena slot. The generation counter distinguishes a live
@@ -56,6 +58,7 @@ func (e Event) Cancel() {
 	}
 	e.s.removeAt(int(n.pos))
 	e.s.freeNode(e.id)
+	e.s.mCancelled.Inc()
 }
 
 // Pending reports whether the event is still queued.
@@ -76,11 +79,32 @@ type Simulator struct {
 	nodes  []node
 	free   []int32
 	heap   []int32 // 4-ary min-heap of arena indices, ordered by (time, seq)
+
+	// Metric handles, nil unless Instrument was called. Nil handles
+	// no-op, so the disabled path costs one branch per operation.
+	mScheduled  *metrics.Counter
+	mDispatched *metrics.Counter
+	mCancelled  *metrics.Counter
+	mHeapDepth  *metrics.Gauge
 }
 
 // New returns a simulator with its clock at time zero.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// Instrument registers the kernel's metrics with r: events scheduled,
+// dispatched, and cancelled (counters) and the event-heap depth
+// high-water (gauge). A nil registry leaves the kernel uninstrumented,
+// which is the free fast path.
+func (s *Simulator) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	s.mScheduled = r.Counter("sim.events_scheduled")
+	s.mDispatched = r.Counter("sim.events_dispatched")
+	s.mCancelled = r.Counter("sim.events_cancelled")
+	s.mHeapDepth = r.Gauge("sim.heap_depth")
 }
 
 // Now returns the current simulated time in seconds.
@@ -116,6 +140,12 @@ func (s *Simulator) At(t float64, fn func()) Event {
 	s.heap = append(s.heap, id)
 	n.pos = int32(len(s.heap) - 1)
 	s.siftUp(len(s.heap) - 1)
+	// Gauge.Set is not inlinable (CAS loop), so gate the pair on one
+	// predictable branch instead of paying a call on the disabled path.
+	if s.mScheduled != nil {
+		s.mScheduled.Inc()
+		s.mHeapDepth.Set(int64(len(s.heap)))
+	}
 	return Event{s: s, id: id, gen: n.gen, time: t}
 }
 
@@ -140,6 +170,7 @@ func (s *Simulator) Step() bool {
 	s.nsteps++
 	s.removeAt(0)
 	s.freeNode(id)
+	s.mDispatched.Inc()
 	fn()
 	return true
 }

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"bufqos/internal/metrics"
+	"bufqos/internal/sim"
+)
+
+// NewMetricsSampler returns a Sampler that periodically snapshots the
+// named metrics from a registry into a time series — the bridge
+// between the instantaneous counters/gauges of internal/metrics and
+// the trace package's CSV/column tooling. Missing names sample as
+// zero until (if ever) they are registered, so samplers can be set up
+// before the instrumented components run.
+//
+// Counters sample their running count, gauges their current level,
+// histograms their observation count (see metrics.Registry.Value).
+func NewMetricsSampler(s *sim.Simulator, interval float64, r *metrics.Registry, names []string) *Sampler {
+	if r == nil {
+		panic("trace: nil metrics registry")
+	}
+	labels := append([]string(nil), names...)
+	return NewSampler(s, interval, labels, func() []float64 {
+		row := make([]float64, len(labels))
+		for i, name := range labels {
+			v, _ := r.Value(name)
+			row[i] = v
+		}
+		return row
+	})
+}

@@ -1,6 +1,7 @@
 package bufqos_test
 
 import (
+	"context"
 	"testing"
 
 	"bufqos/internal/buffer"
@@ -51,15 +52,15 @@ func TestStressHundredFlowsLongRun(t *testing.T) {
 			Conformance: conf,
 		})
 	}
-	res, err := experiment.Run(experiment.Config{
-		Flows:    flows,
-		Scheme:   experiment.FIFOThreshold,
-		LinkRate: linkRate,
-		Buffer:   bufSize,
-		Duration: 60,
-		Warmup:   5,
-		Seed:     1,
-	})
+	res, err := experiment.Run(context.Background(), experiment.NewOptions(
+		experiment.WithFlows(flows),
+		experiment.WithScheme(experiment.FIFOThreshold),
+		experiment.WithLinkRate(linkRate),
+		experiment.WithBuffer(bufSize),
+		experiment.WithDuration(60),
+		experiment.WithWarmup(5),
+		experiment.WithSeed(1),
+	))
 	if err != nil {
 		t.Fatal(err)
 	}
