@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race bench bench-smoke
+.PHONY: verify build vet test race lint bench bench-smoke
 
 verify: build vet test race
 
@@ -14,6 +14,16 @@ vet:
 
 test:
 	go test ./...
+
+# Style gate: gofmt must produce no diff, and vet must be clean. CI runs
+# this alongside `make verify`.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; \
+		gofmt -d $$unformatted; exit 1; \
+	fi
+	go vet ./...
 
 race:
 	go test -race -short -run 'TestParallel|TestPool|TestSweepCancel|TestMetricsDeterministic' ./internal/experiment

@@ -1,0 +1,40 @@
+package bufqos_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"bufqos/internal/scheme"
+)
+
+// TestReadmeSchemeCatalogue pins the README's scheme tables to the
+// registry: the text between the scheme-catalogue markers must be
+// exactly scheme.MarkdownCatalogue(), so adding or re-parameterizing a
+// scheduler or manager without regenerating the docs fails the build.
+func TestReadmeSchemeCatalogue(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		beginTag = "<!-- scheme-catalogue:begin"
+		endTag   = "<!-- scheme-catalogue:end -->"
+	)
+	s := string(readme)
+	begin := strings.Index(s, beginTag)
+	end := strings.Index(s, endTag)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("README.md lacks the scheme-catalogue markers (%q ... %q)", beginTag, endTag)
+	}
+	// The begin marker runs to the end of its line.
+	nl := strings.Index(s[begin:], "\n")
+	if nl < 0 {
+		t.Fatal("unterminated begin marker line")
+	}
+	got := s[begin+nl+1 : end]
+	want := scheme.MarkdownCatalogue()
+	if got != want {
+		t.Errorf("README scheme catalogue is stale; replace the text between the markers with internal/scheme.MarkdownCatalogue():\n--- README ---\n%s\n--- registry ---\n%s", got, want)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"bufqos/internal/experiment"
 	"bufqos/internal/report"
+	"bufqos/internal/scheme"
 	"bufqos/internal/units"
 )
 
@@ -23,8 +24,17 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced-scale sweep for fast feedback")
 		runs     = flag.Int("runs", 0, "override replication count")
 		duration = flag.Float64("duration", 0, "override simulated seconds")
+		listSch  = flag.Bool("list-schemes", false, "print the scheme registry catalogue and exit")
 	)
 	flag.Parse()
+
+	if *listSch {
+		if err := scheme.WriteCatalogue(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "qcheck: writing catalogue: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	var opts *experiment.Options
 	if *quick {

@@ -34,6 +34,7 @@ import (
 
 	"bufqos/internal/experiment"
 	"bufqos/internal/metrics"
+	"bufqos/internal/scheme"
 	"bufqos/internal/units"
 )
 
@@ -53,7 +54,8 @@ func main() {
 		csvDir      = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		fig7buf     = flag.Float64("fig7buffer", 1, "fixed buffer for the fig7 headroom sweep, MB")
 		workload    = flag.String("workload", "", "JSON workload file: run a custom buffer sweep instead of the paper figures")
-		schemes     = flag.String("schemes", "FIFO+thresholds,WFQ+thresholds,FIFO", "schemes for -workload sweeps (comma list of names)")
+		schemes     = flag.String("schemes", "", "comma list of scheme specs for -workload sweeps, e.g. 'fifo+threshold,wfq+sharing,hybrid:2+sharing' (default: the workload's own schemes, else fifo+threshold,wfq+threshold,fifo+none)")
+		listSchemes = flag.Bool("list-schemes", false, "print the scheme registry catalogue and exit")
 		workers     = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		metricsOut  = flag.String("metrics", "", "write aggregated metrics as JSON to this file ('-' for stderr) when done")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -61,6 +63,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listSchemes {
+		if err := scheme.WriteCatalogue(os.Stdout); err != nil {
+			fatalf("writing catalogue: %v", err)
+		}
+		return
+	}
 	if *workers < 0 {
 		fatalf("-workers must be >= 0 (got %d)", *workers)
 	}
@@ -244,20 +252,25 @@ func runWorkloadSweep(ctx context.Context, path, schemeList string, opts *experi
 	if err != nil {
 		fatalf("%v", err)
 	}
-	var schemes []experiment.Scheme
-	for _, name := range strings.Split(schemeList, ",") {
-		s, err := experiment.SchemeByName(strings.TrimSpace(name))
-		if err != nil {
-			fatalf("%v", err)
+	// An empty -schemes defers to the workload's own scheme list (then
+	// the built-in default) inside SweepWorkload.
+	var specs []string
+	if schemeList != "" {
+		for _, name := range strings.Split(schemeList, ",") {
+			spec := strings.TrimSpace(name)
+			if _, err := experiment.ParseScheme(spec); err != nil {
+				fatalf("%v\navailable specs: %s\n(see -list-schemes for parameters)",
+					err, strings.Join(experiment.SchemeSpecs(), ", "))
+			}
+			specs = append(specs, spec)
 		}
-		schemes = append(schemes, s)
 	}
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fatalf("creating %s: %v", csvDir, err)
 		}
 	}
-	util, loss, err := experiment.SweepWorkload(ctx, w, schemes, opts)
+	util, loss, err := experiment.SweepWorkload(ctx, w, specs, opts)
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fatalf("sweep: %v", err)

@@ -1,11 +1,17 @@
 // Command qtrace runs a single Table 1 scenario and emits time series
 // of the simulation's internal state — per-flow buffer occupancy and,
-// for the sharing scheme, the holes/headroom pool levels — as CSV.
+// for the sharing schemes, the holes/headroom pool levels — as CSV.
 // It makes the §2 dynamics (a greedy flow pinned at its threshold, a
 // conformant flow's occupancy converging from below) and the §3.3 pool
 // mechanics directly visible.
 //
+// The -scheme flag accepts any scheme-registry spec (see -list-schemes);
+// the bare manager names "threshold" and "sharing" keep working and mean
+// FIFO scheduling, as before.
+//
 //	qtrace -scheme sharing -buffer 1 -headroom 0.25 > trace.csv
+//	qtrace -scheme wfq+sharing > trace.csv
+//	qtrace -scheme fifo+red?min=0.2,max=0.8 > trace.csv
 //	qtrace -scheme threshold -example1 > example1.csv
 //	qtrace -scheme sharing -metrics metrics.csv > trace.csv
 //
@@ -19,11 +25,14 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"bufqos/internal/buffer"
 	"bufqos/internal/core"
 	"bufqos/internal/experiment"
 	"bufqos/internal/metrics"
 	"bufqos/internal/sched"
+	"bufqos/internal/scheme"
 	"bufqos/internal/sim"
 	"bufqos/internal/source"
 	"bufqos/internal/trace"
@@ -32,7 +41,7 @@ import (
 
 func main() {
 	var (
-		scheme   = flag.String("scheme", "threshold", "buffer manager: threshold or sharing")
+		schemeF  = flag.String("scheme", "threshold", "scheme-registry spec, e.g. threshold, sharing, wfq+sharing, fifo+red?min=0.2")
 		bufferMB = flag.Float64("buffer", 1, "total buffer in MB")
 		headMB   = flag.Float64("headroom", 0.25, "sharing headroom in MB")
 		duration = flag.Float64("duration", 5, "simulated seconds")
@@ -40,8 +49,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		example1 = flag.Bool("example1", false, "trace the Example 1 scenario (CBR vs feedback-greedy) instead of Table 1")
 		metricsF = flag.String("metrics", "", "also sample run metrics every interval and write them as CSV to this file")
+		listSch  = flag.Bool("list-schemes", false, "print the scheme registry catalogue and exit")
 	)
 	flag.Parse()
+
+	if *listSch {
+		if err := scheme.WriteCatalogue(os.Stdout); err != nil {
+			fatalf("writing catalogue: %v", err)
+		}
+		return
+	}
 
 	s := sim.New()
 	linkRate := experiment.DefaultLinkRate
@@ -57,14 +74,14 @@ func main() {
 	}
 	// instrument wires the built manager and link into reg (no-op
 	// without -metrics).
-	instrument := func(link *sched.Link, scheme string) {
+	instrument := func(link *sched.Link, label string) {
 		if reg == nil {
 			return
 		}
 		if in, ok := mgr.(buffer.Instrumentable); ok {
 			in.Instrument(reg, "buffer")
 		}
-		link.Instrument(reg, scheme)
+		link.Instrument(reg, label)
 	}
 
 	if *example1 {
@@ -90,28 +107,48 @@ func main() {
 		}
 	} else {
 		flows := experiment.Table1Flows()
-		specs := experiment.Specs(flows)
-		th, err := core.Thresholds(specs, linkRate, bufSize)
+		sc, err := scheme.Parse(*schemeF)
 		if err != nil {
-			fatalf("thresholds: %v", err)
+			fatalf("%v\navailable specs: %s\n(see -list-schemes for parameters)",
+				err, strings.Join(scheme.Specs(), ", "))
 		}
-		switch *scheme {
-		case "threshold":
-			mgr = buffer.NewFixedThreshold(bufSize, th)
-			labels = occupancyLabels(len(flows))
-			probe = occupancyProbe(mgr, len(flows), nil)
-		case "sharing":
-			sh := buffer.NewSharing(bufSize, th, units.MegaBytes(*headMB))
-			mgr = sh
-			labels = append(occupancyLabels(len(flows)), "holes", "headroom")
+		adaptive := make([]bool, len(flows))
+		for i, f := range flows {
+			adaptive[i] = f.Conformance != experiment.Aggressive
+		}
+		var scheduler sched.Scheduler
+		mgr, scheduler, err = sc.Build(scheme.Config{
+			Specs:    experiment.Specs(flows),
+			LinkRate: linkRate,
+			Buffer:   bufSize,
+			Headroom: units.MegaBytes(*headMB),
+			QueueOf:  experiment.Table1QueueOf(),
+			Adaptive: adaptive,
+			Now:      s.Now,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fatalf("building %s: %v", sc.Spec(), err)
+		}
+		// Occupancy columns for every flow; sharing-family managers
+		// additionally expose their holes/headroom pool levels.
+		labels = occupancyLabels(len(flows))
+		switch m := mgr.(type) {
+		case *buffer.Sharing:
+			labels = append(labels, "holes", "headroom")
 			probe = occupancyProbe(mgr, len(flows), func() []float64 {
-				return []float64{float64(sh.Holes()), float64(sh.Headroom())}
+				return []float64{float64(m.Holes()), float64(m.Headroom())}
+			})
+		case *buffer.AdaptiveSharing:
+			labels = append(labels, "holes", "headroom")
+			probe = occupancyProbe(mgr, len(flows), func() []float64 {
+				return []float64{float64(m.Holes()), float64(m.Headroom())}
 			})
 		default:
-			fatalf("unknown scheme %q (threshold or sharing)", *scheme)
+			probe = occupancyProbe(mgr, len(flows), nil)
 		}
-		link := sched.NewLink(s, linkRate, sched.NewFIFO(), mgr, nil)
-		instrument(link, *scheme)
+		link := sched.NewLink(s, linkRate, scheduler, mgr, nil)
+		instrument(link, sc.String())
 		for i, f := range flows {
 			rng := sim.NewRand(sim.DeriveSeed(*seed, i))
 			var sink source.Sink = link

@@ -9,6 +9,8 @@
 //   - internal/core      — thresholds, admission regions, hybrid allocation
 //   - internal/buffer    — tail-drop, fixed thresholds, sharing, DT, RED
 //   - internal/sched     — FIFO, exact-virtual-time WFQ, hybrid, link server
+//   - internal/scheme    — the scheme registry: spec strings → (manager,
+//     scheduler) builders shared by experiments, the network, and CLIs
 //   - internal/source    — ON-OFF sources, leaky-bucket shaper, meter
 //   - internal/fluid     — fluid-model verification of Propositions 1-2
 //   - internal/experiment — Table 1/2 workloads and Figures 1-13 runners
@@ -25,8 +27,12 @@
 //	))
 //
 // Cancelling ctx stops in-flight simulations promptly and returns the
-// partial figure. The deprecated Config/RunOpts shims keep pre-Options
-// callers compiling.
+// partial figure. Schemes are selected by registry spec strings —
+// experiment.WithSchemeSpec("wfq+sharing"),
+// WithSchemeSpec("hybrid:3+sharing"), or a parameterized variant like
+// "fifo+red?min=0.2,max=0.8" — and the deprecated Scheme enum plus the
+// Config/RunOpts shims keep pre-Options callers compiling (each enum
+// value maps onto its registry entry, producing identical runs).
 //
 // Executables: cmd/qsim (regenerate every figure; -metrics, -pprof and
 // -progress expose run telemetry), cmd/qosplan (closed-form analysis).

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"bufqos/internal/packet"
+	"bufqos/internal/scheme"
 	"bufqos/internal/units"
 )
 
@@ -32,16 +33,23 @@ type workloadJSON struct {
 	// Name documents the scenario.
 	Name string `json:"name,omitempty"`
 	// LinkMbps overrides the 48 Mb/s default when positive.
-	LinkMbps float64    `json:"link_mbps,omitempty"`
-	Flows    []flowJSON `json:"flows"`
+	LinkMbps float64 `json:"link_mbps,omitempty"`
+	// Schemes lists registry scheme specs to sweep by default (e.g.
+	// "fifo+threshold", "hybrid:2+sharing"); CLI flags override it.
+	Schemes []string   `json:"schemes,omitempty"`
+	Flows   []flowJSON `json:"flows"`
 }
 
 // Workload is a parsed scenario: the flow set plus its metadata.
 type Workload struct {
 	Name     string
 	LinkRate units.Rate
-	Flows    []FlowConfig
-	QueueOf  []int
+	// Schemes are the scenario's own default scheme specs, validated
+	// against the registry at parse time. SweepWorkload falls back to
+	// them when the caller passes no specs.
+	Schemes []string
+	Flows   []FlowConfig
+	QueueOf []int
 }
 
 // ParseWorkload reads a JSON scenario. Example:
@@ -65,7 +73,12 @@ func ParseWorkload(r io.Reader) (*Workload, error) {
 	if len(w.Flows) == 0 {
 		return nil, fmt.Errorf("experiment: workload %q has no flows", w.Name)
 	}
-	out := &Workload{Name: w.Name, LinkRate: DefaultLinkRate}
+	out := &Workload{Name: w.Name, LinkRate: DefaultLinkRate, Schemes: w.Schemes}
+	for _, spec := range w.Schemes {
+		if _, err := scheme.Parse(spec); err != nil {
+			return nil, fmt.Errorf("experiment: workload %q: %w", w.Name, err)
+		}
+	}
 	if w.LinkMbps != 0 {
 		if w.LinkMbps < 0 {
 			return nil, fmt.Errorf("experiment: negative link rate %v", w.LinkMbps)

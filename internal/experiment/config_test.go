@@ -70,10 +70,33 @@ func TestParseWorkloadErrors(t *testing.T) {
 		`{"flows": [{"peak_mbps": 1, "avg_mbps": 1, "token_mbps": 1, "bucket_kb": 1, "count": -2}]}`,
 		`{"link_mbps": -5, "flows": [{"peak_mbps": 1, "avg_mbps": 1, "token_mbps": 1, "bucket_kb": 1}]}`,
 		`{"flows": [{"nope": 1}]}`, // unknown field
+		`{"schemes": ["bogus+threshold"],
+		  "flows": [{"peak_mbps": 1, "avg_mbps": 1, "token_mbps": 1, "bucket_kb": 1}]}`, // bad scheme spec
+		`{"schemes": ["fifo+"],
+		  "flows": [{"peak_mbps": 1, "avg_mbps": 1, "token_mbps": 1, "bucket_kb": 1}]}`, // malformed spec
 	}
 	for i, c := range cases {
 		if _, err := ParseWorkload(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestParseWorkloadSchemes(t *testing.T) {
+	w, err := ParseWorkload(strings.NewReader(`{
+	  "schemes": ["fifo+threshold", "hybrid:2+sharing", "FIFO+RED?min=0.2"],
+	  "flows": [{"peak_mbps": 16, "avg_mbps": 2, "token_mbps": 2, "bucket_kb": 50},
+	            {"peak_mbps": 16, "avg_mbps": 2, "token_mbps": 2, "bucket_kb": 50, "queue": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fifo+threshold", "hybrid:2+sharing", "FIFO+RED?min=0.2"}
+	if len(w.Schemes) != len(want) {
+		t.Fatalf("schemes = %v, want %v", w.Schemes, want)
+	}
+	for i := range want {
+		if w.Schemes[i] != want[i] {
+			t.Errorf("scheme %d = %q, want %q (specs are carried verbatim)", i, w.Schemes[i], want[i])
 		}
 	}
 }

@@ -146,24 +146,25 @@ func lossOver(ids []int) func(Result) float64 {
 	}
 }
 
-// table1Cfg returns run options for the Table 1 workload.
-func table1Cfg(scheme Scheme, buf, headroom units.Bytes) *Options {
+// table1Cfg returns run options for the Table 1 workload; spec is a
+// scheme-registry spec string.
+func table1Cfg(spec string, buf, headroom units.Bytes) *Options {
 	return &Options{
-		Flows:    Table1Flows(),
-		Scheme:   scheme,
-		Buffer:   buf,
-		Headroom: headroom,
-		QueueOf:  Table1QueueOf(),
+		Flows:      Table1Flows(),
+		SchemeSpec: spec,
+		Buffer:     buf,
+		Headroom:   headroom,
+		QueueOf:    Table1QueueOf(),
 	}
 }
 
-func table2Cfg(scheme Scheme, buf, headroom units.Bytes) *Options {
+func table2Cfg(spec string, buf, headroom units.Bytes) *Options {
 	return &Options{
-		Flows:    Table2Flows(),
-		Scheme:   scheme,
-		Buffer:   buf,
-		Headroom: headroom,
-		QueueOf:  Table2QueueOf(),
+		Flows:      Table2Flows(),
+		SchemeSpec: spec,
+		Buffer:     buf,
+		Headroom:   headroom,
+		QueueOf:    Table2QueueOf(),
 	}
 }
 
@@ -171,13 +172,13 @@ func table2Cfg(scheme Scheme, buf, headroom units.Bytes) *Options {
 // management": utilization vs total buffer for the four §3.2 schemes.
 func Figure1(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
-	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
+	specs := []string{"fifo+threshold", "wfq+threshold", "fifo+none", "wfq+none"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		lines = append(lines, line{
-			label:  s.String(),
-			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
+			label:  specLabel(spec),
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, 0) },
 			metric: utilization,
 		})
 	}
@@ -193,13 +194,13 @@ func Figure1(ctx context.Context, opts *Options) (Figure, error) {
 // buffer management".
 func Figure2(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
-	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
+	specs := []string{"fifo+threshold", "wfq+threshold", "fifo+none", "wfq+none"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		lines = append(lines, line{
-			label:  s.String(),
-			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
+			label:  specLabel(spec),
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, 0) },
 			metric: conformantLoss,
 		})
 	}
@@ -217,15 +218,15 @@ func Figure2(ctx context.Context, opts *Options) (Figure, error) {
 // ratio, the others do not.
 func Figure3(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
-	schemes := []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM}
+	specs := []string{"fifo+threshold", "wfq+threshold", "fifo+none", "wfq+none"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		for _, flow := range []int{6, 8} {
 			flow := flow
 			lines = append(lines, line{
-				label:  fmt.Sprintf("%s flow%d", s, flow),
-				cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
+				label:  fmt.Sprintf("%s flow%d", specLabel(spec), flow),
+				cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, 0) },
 				metric: flowThroughputMbps(flow),
 			})
 		}
@@ -243,13 +244,13 @@ func Figure3(ctx context.Context, opts *Options) (Figure, error) {
 // Figure 1.
 func Figure4(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
-	schemes := []Scheme{FIFOSharing, WFQSharing, FIFONoBM, WFQNoBM}
+	specs := []string{"fifo+sharing", "wfq+sharing", "fifo+none", "wfq+none"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		lines = append(lines, line{
-			label:  s.String(),
-			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
+			label:  specLabel(spec),
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, o.Headroom) },
 			metric: utilization,
 		})
 	}
@@ -264,13 +265,13 @@ func Figure4(ctx context.Context, opts *Options) (Figure, error) {
 // Figure5 regenerates "Loss for conformant flows in Buffer Sharing".
 func Figure5(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
-	schemes := []Scheme{FIFOSharing, WFQSharing}
+	specs := []string{"fifo+sharing", "wfq+sharing"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		lines = append(lines, line{
-			label:  s.String(),
-			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
+			label:  specLabel(spec),
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, o.Headroom) },
 			metric: conformantLoss,
 		})
 	}
@@ -287,15 +288,15 @@ func Figure5(ctx context.Context, opts *Options) (Figure, error) {
 // flows 6 and 8.
 func Figure6(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
-	schemes := []Scheme{FIFOSharing, WFQSharing}
+	specs := []string{"fifo+sharing", "wfq+sharing"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		for _, flow := range []int{6, 8} {
 			flow := flow
 			lines = append(lines, line{
-				label:  fmt.Sprintf("%s flow%d", s, flow),
-				cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
+				label:  fmt.Sprintf("%s flow%d", specLabel(spec), flow),
+				cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, o.Headroom) },
 				metric: flowThroughputMbps(flow),
 			})
 		}
@@ -313,13 +314,13 @@ func Figure6(ctx context.Context, opts *Options) (Figure, error) {
 func Figure7(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
 	buf := o.Fig7Buffer
-	schemes := []Scheme{FIFOSharing, WFQSharing}
+	specs := []string{"fifo+sharing", "wfq+sharing"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		lines = append(lines, line{
-			label:  s.String(),
-			cfg:    func(h units.Bytes) *Options { return table1Cfg(s, buf, h) },
+			label:  specLabel(spec),
+			cfg:    func(h units.Bytes) *Options { return table1Cfg(spec, buf, h) },
 			metric: conformantLoss,
 		})
 	}
@@ -334,14 +335,14 @@ func Figure7(ctx context.Context, opts *Options) (Figure, error) {
 // hybridFigure builds the three-metric × buffer-sweep comparisons of
 // §4.2 shared by Figures 8–10 (Case 1) and 11–13 (Case 2).
 func hybridFigure(ctx context.Context, o *Options, id, title, ylabel string,
-	cfgOf func(Scheme, units.Bytes) *Options, metric func(Result) float64, extra []line) (Figure, error) {
-	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
+	cfgOf func(string, units.Bytes) *Options, metric func(Result) float64, extra []line) (Figure, error) {
+	specs := []string{"hybrid+sharing", "wfq+sharing", "fifo+sharing"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		lines = append(lines, line{
-			label:  s.String(),
-			cfg:    func(x units.Bytes) *Options { return cfgOf(s, x) },
+			label:  specLabel(spec),
+			cfg:    func(x units.Bytes) *Options { return cfgOf(spec, x) },
 			metric: metric,
 		})
 	}
@@ -360,7 +361,7 @@ func Figure8(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
 	return hybridFigure(ctx, o, "fig8", "Hybrid System, Case 1: Aggregate throughput with Buffer Sharing",
 		"link utilization",
-		func(s Scheme, x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
+		func(spec string, x units.Bytes) *Options { return table1Cfg(spec, x, o.Headroom) },
 		utilization, nil)
 }
 
@@ -370,7 +371,7 @@ func Figure9(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
 	return hybridFigure(ctx, o, "fig9", "Hybrid System, Case 1: Loss for conformant flows with Buffer Sharing",
 		"conformant loss ratio",
-		func(s Scheme, x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
+		func(spec string, x units.Bytes) *Options { return table1Cfg(spec, x, o.Headroom) },
 		conformantLoss, nil)
 }
 
@@ -378,15 +379,15 @@ func Figure9(ctx context.Context, opts *Options) (Figure, error) {
 // non-conformant flows with Buffer Sharing" (flows 6 and 8).
 func Figure10(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
-	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
+	specs := []string{"hybrid+sharing", "wfq+sharing", "fifo+sharing"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		for _, flow := range []int{6, 8} {
 			flow := flow
 			lines = append(lines, line{
-				label:  fmt.Sprintf("%s flow%d", s, flow),
-				cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, o.Headroom) },
+				label:  fmt.Sprintf("%s flow%d", specLabel(spec), flow),
+				cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, o.Headroom) },
 				metric: flowThroughputMbps(flow),
 			})
 		}
@@ -405,7 +406,7 @@ func Figure11(ctx context.Context, opts *Options) (Figure, error) {
 	o := opts.sweepReady()
 	return hybridFigure(ctx, o, "fig11", "Hybrid System, Case 2: Aggregate throughput with Buffer Sharing",
 		"link utilization",
-		func(s Scheme, x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
+		func(spec string, x units.Bytes) *Options { return table2Cfg(spec, x, o.Headroom) },
 		utilization, nil)
 }
 
@@ -419,7 +420,7 @@ func Figure12(ctx context.Context, opts *Options) (Figure, error) {
 	}
 	return hybridFigure(ctx, o, "fig12", "Hybrid System, Case 2: Loss for conformant and moderately conformant flows",
 		"loss ratio (flows 0-19)",
-		func(s Scheme, x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
+		func(spec string, x units.Bytes) *Options { return table2Cfg(spec, x, o.Headroom) },
 		lossOver(ids), nil)
 }
 
@@ -434,19 +435,19 @@ func Figure13(ctx context.Context, opts *Options) (Figure, error) {
 		moderate[i] = 10 + i
 		aggressive[i] = 20 + i
 	}
-	schemes := []Scheme{HybridSharing, WFQSharing, FIFOSharing}
+	specs := []string{"hybrid+sharing", "wfq+sharing", "fifo+sharing"}
 	var lines []line
-	for _, s := range schemes {
-		s := s
+	for _, spec := range specs {
+		spec := spec
 		lines = append(lines,
 			line{
-				label:  s.String() + " moderate",
-				cfg:    func(x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
+				label:  specLabel(spec) + " moderate",
+				cfg:    func(x units.Bytes) *Options { return table2Cfg(spec, x, o.Headroom) },
 				metric: meanThroughputMbps(moderate),
 			},
 			line{
-				label:  s.String() + " aggressive",
-				cfg:    func(x units.Bytes) *Options { return table2Cfg(s, x, o.Headroom) },
+				label:  specLabel(spec) + " aggressive",
+				cfg:    func(x units.Bytes) *Options { return table2Cfg(spec, x, o.Headroom) },
 				metric: meanThroughputMbps(aggressive),
 			},
 		)

@@ -2,9 +2,119 @@ package experiment
 
 import (
 	"context"
+	"fmt"
 
 	"bufqos/internal/units"
 )
+
+// Scheme names one of the resource-management combinations compared in
+// the paper's evaluation.
+//
+// Deprecated: the closed enum predates the scheme registry. Use
+// Options.SchemeSpec / WithSchemeSpec with a registry spec string (e.g.
+// "fifo+threshold", "wfq+sharing", "fifo+red?min=0.2"); every enum
+// value maps onto its registry entry via Spec(), so existing callers
+// keep producing identical runs.
+type Scheme int
+
+const (
+	// FIFONoBM is FIFO scheduling with no buffer management (shared
+	// tail-drop) — benchmark 3 of §3.2. Registry spec: "fifo+none".
+	FIFONoBM Scheme = iota
+	// WFQNoBM is per-flow WFQ with a shared tail-drop buffer —
+	// benchmark 4. Registry spec: "wfq+none".
+	WFQNoBM
+	// FIFOThreshold is the paper's proposal: FIFO + fixed per-flow
+	// thresholds σᵢ + ρᵢB/R — scheme 1. Registry spec: "fifo+threshold".
+	FIFOThreshold
+	// WFQThreshold is per-flow WFQ + the same thresholds — scheme 2.
+	// Registry spec: "wfq+threshold".
+	WFQThreshold
+	// FIFOSharing is FIFO + the §3.3 holes/headroom sharing scheme.
+	// Registry spec: "fifo+sharing".
+	FIFOSharing
+	// WFQSharing is per-flow WFQ + the sharing scheme. Registry spec:
+	// "wfq+sharing".
+	WFQSharing
+	// HybridSharing is the §4 architecture: k FIFO queues under WFQ,
+	// buffer sharing within each queue. Registry spec: "hybrid+sharing".
+	HybridSharing
+	// FIFODynamicThreshold is FIFO + Choudhury–Hahne dynamic thresholds,
+	// an ablation baseline (reference [1]). Registry spec:
+	// "fifo+dynthresh" (Options.DynAlpha becomes the α parameter).
+	FIFODynamicThreshold
+	// FIFORed is FIFO + RED, an ablation baseline (reference [3]).
+	// Registry spec: "fifo+red".
+	FIFORed
+	// FIFOAdaptiveSharing is the §5 extension: sharing where only
+	// adaptive flows (here: the non-aggressive classes) may borrow the
+	// full holes; aggressive flows get a reduced fraction. Registry
+	// spec: "fifo+adaptive".
+	FIFOAdaptiveSharing
+	// RPQThreshold is a Rotating-Priority-Queues scheduler (reference
+	// [10]) + fixed thresholds, the sorting-free middle ground between
+	// FIFO and WFQ. Registry spec: "rpq+threshold".
+	RPQThreshold
+	// DRRThreshold is Deficit Round Robin + fixed thresholds: the other
+	// O(1) fairness design of the era, for direct comparison with the
+	// paper's O(1) buffer-management approach. Registry spec:
+	// "drr+threshold".
+	DRRThreshold
+	// EDFThreshold is Earliest-Deadline-First + fixed thresholds (the
+	// rate-controlled EDF family of reference [4]). Registry spec:
+	// "edf+threshold".
+	EDFThreshold
+	// VCThreshold is Virtual Clock + fixed thresholds (the family
+	// reference [8] accelerates). Registry spec: "vc+threshold".
+	VCThreshold
+)
+
+// legacySpecs maps every enum value onto its registry spec, in enum
+// order.
+var legacySpecs = []string{
+	FIFONoBM:             "fifo+none",
+	WFQNoBM:              "wfq+none",
+	FIFOThreshold:        "fifo+threshold",
+	WFQThreshold:         "wfq+threshold",
+	FIFOSharing:          "fifo+sharing",
+	WFQSharing:           "wfq+sharing",
+	HybridSharing:        "hybrid+sharing",
+	FIFODynamicThreshold: "fifo+dynthresh",
+	FIFORed:              "fifo+red",
+	FIFOAdaptiveSharing:  "fifo+adaptive",
+	RPQThreshold:         "rpq+threshold",
+	DRRThreshold:         "drr+threshold",
+	EDFThreshold:         "edf+threshold",
+	VCThreshold:          "vc+threshold",
+}
+
+// spec returns the registry spec of a legacy enum value.
+func (s Scheme) spec() (string, error) {
+	if s < 0 || int(s) >= len(legacySpecs) {
+		return "", fmt.Errorf("experiment: unknown scheme Scheme(%d)", int(s))
+	}
+	return legacySpecs[s], nil
+}
+
+// Spec returns the registry spec string the enum value maps onto, e.g.
+// FIFOThreshold → "fifo+threshold".
+func (s Scheme) Spec() string {
+	spec, err := s.spec()
+	if err != nil {
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+	return spec
+}
+
+// String implements fmt.Stringer; the names appear in result tables and
+// are the registry's display labels for the mapped specs.
+func (s Scheme) String() string {
+	spec, err := s.spec()
+	if err != nil {
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+	return specLabel(spec)
+}
 
 // Config is the legacy single-run configuration.
 //

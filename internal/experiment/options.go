@@ -34,7 +34,15 @@ import (
 type Options struct {
 	// --- One run's physics ---
 
-	Flows    []FlowConfig
+	Flows []FlowConfig
+	// SchemeSpec selects the resource-management scheme through the
+	// scheme registry (e.g. "fifo+threshold", "wfq+sharing",
+	// "hybrid:3+sharing", "fifo+red?min=0.2"); see internal/scheme for
+	// the grammar and catalogue. When empty, the deprecated Scheme enum
+	// below is mapped onto its registry entry instead.
+	SchemeSpec string
+	// Scheme is the deprecated enum selector; SchemeSpec wins when both
+	// are set.
 	Scheme   Scheme
 	LinkRate units.Rate
 	Buffer   units.Bytes
@@ -120,7 +128,14 @@ func NewOptions(opts ...Option) *Options {
 func WithFlows(flows []FlowConfig) Option { return func(o *Options) { o.Flows = flows } }
 
 // WithScheme selects the resource-management scheme of single runs.
+//
+// Deprecated: use WithSchemeSpec with a registry spec string.
 func WithScheme(s Scheme) Option { return func(o *Options) { o.Scheme = s } }
+
+// WithSchemeSpec selects the scheme through the registry, e.g.
+// "fifo+threshold", "wfq+sharing", "hybrid:3+sharing",
+// "fifo+dynthresh?alpha=2". Invalid specs surface as an error from Run.
+func WithSchemeSpec(spec string) Option { return func(o *Options) { o.SchemeSpec = spec } }
 
 // WithLinkRate overrides the 48 Mb/s default link.
 func WithLinkRate(r units.Rate) Option { return func(o *Options) { o.LinkRate = r } }

@@ -16,11 +16,11 @@ import (
 // the reference workload for the equivalence tests.
 func table1Lines(metric func(Result) float64) []line {
 	var lines []line
-	for _, s := range []Scheme{FIFOThreshold, WFQThreshold, FIFONoBM, WFQNoBM} {
-		s := s
+	for _, spec := range []string{"fifo+threshold", "wfq+threshold", "fifo+none", "wfq+none"} {
+		spec := spec
 		lines = append(lines, line{
-			label:  s.String(),
-			cfg:    func(x units.Bytes) *Options { return table1Cfg(s, x, 0) },
+			label:  specLabel(spec),
+			cfg:    func(x units.Bytes) *Options { return table1Cfg(spec, x, 0) },
 			metric: metric,
 		})
 	}

@@ -5,100 +5,15 @@ import (
 	"fmt"
 
 	"bufqos/internal/buffer"
-	"bufqos/internal/core"
 	"bufqos/internal/metrics"
-	"bufqos/internal/packet"
 	"bufqos/internal/sched"
+	"bufqos/internal/scheme"
 	"bufqos/internal/sim"
 	"bufqos/internal/source"
 	"bufqos/internal/stats"
 	"bufqos/internal/trace"
 	"bufqos/internal/units"
 )
-
-// Scheme names one of the resource-management combinations compared in
-// the paper's evaluation.
-type Scheme int
-
-const (
-	// FIFONoBM is FIFO scheduling with no buffer management (shared
-	// tail-drop) — benchmark 3 of §3.2.
-	FIFONoBM Scheme = iota
-	// WFQNoBM is per-flow WFQ with a shared tail-drop buffer —
-	// benchmark 4.
-	WFQNoBM
-	// FIFOThreshold is the paper's proposal: FIFO + fixed per-flow
-	// thresholds σᵢ + ρᵢB/R — scheme 1.
-	FIFOThreshold
-	// WFQThreshold is per-flow WFQ + the same thresholds — scheme 2.
-	WFQThreshold
-	// FIFOSharing is FIFO + the §3.3 holes/headroom sharing scheme.
-	FIFOSharing
-	// WFQSharing is per-flow WFQ + the sharing scheme.
-	WFQSharing
-	// HybridSharing is the §4 architecture: k FIFO queues under WFQ,
-	// buffer sharing within each queue.
-	HybridSharing
-	// FIFODynamicThreshold is FIFO + Choudhury–Hahne dynamic thresholds,
-	// an ablation baseline (reference [1]).
-	FIFODynamicThreshold
-	// FIFORed is FIFO + RED, an ablation baseline (reference [3]).
-	FIFORed
-	// FIFOAdaptiveSharing is the §5 extension: sharing where only
-	// adaptive flows (here: the non-aggressive classes) may borrow the
-	// full holes; aggressive flows get a reduced fraction.
-	FIFOAdaptiveSharing
-	// RPQThreshold is a Rotating-Priority-Queues scheduler (reference
-	// [10]) + fixed thresholds, the sorting-free middle ground between
-	// FIFO and WFQ.
-	RPQThreshold
-	// DRRThreshold is Deficit Round Robin + fixed thresholds: the other
-	// O(1) fairness design of the era, for direct comparison with the
-	// paper's O(1) buffer-management approach.
-	DRRThreshold
-	// EDFThreshold is Earliest-Deadline-First + fixed thresholds (the
-	// rate-controlled EDF family of reference [4]).
-	EDFThreshold
-	// VCThreshold is Virtual Clock + fixed thresholds (the family
-	// reference [8] accelerates).
-	VCThreshold
-)
-
-// String implements fmt.Stringer; the names appear in result tables.
-func (s Scheme) String() string {
-	switch s {
-	case FIFONoBM:
-		return "FIFO"
-	case WFQNoBM:
-		return "WFQ"
-	case FIFOThreshold:
-		return "FIFO+thresholds"
-	case WFQThreshold:
-		return "WFQ+thresholds"
-	case FIFOSharing:
-		return "FIFO+sharing"
-	case WFQSharing:
-		return "WFQ+sharing"
-	case HybridSharing:
-		return "hybrid+sharing"
-	case FIFODynamicThreshold:
-		return "FIFO+dynthresh"
-	case FIFORed:
-		return "FIFO+RED"
-	case FIFOAdaptiveSharing:
-		return "FIFO+adaptive-sharing"
-	case RPQThreshold:
-		return "RPQ+thresholds"
-	case DRRThreshold:
-		return "DRR+thresholds"
-	case EDFThreshold:
-		return "EDF+thresholds"
-	case VCThreshold:
-		return "VC+thresholds"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
-	}
-}
 
 // Result holds the measurements of one run.
 type Result struct {
@@ -171,96 +86,13 @@ func Run(ctx context.Context, o *Options) (Result, error) {
 		// Histogram ceiling: a full buffer draining at the link rate.
 		col.EnableDelays(2 * float64(cfg.Buffer) * 8 / cfg.LinkRate.BitsPerSecond())
 	}
-	specs := Specs(cfg.Flows)
-
-	var mgr buffer.Manager
-	var scheduler sched.Scheduler
-	switch cfg.Scheme {
-	case FIFONoBM:
-		mgr = buffer.NewTailDrop(cfg.Buffer, n)
-		scheduler = sched.NewFIFO()
-	case WFQNoBM:
-		mgr = buffer.NewTailDrop(cfg.Buffer, n)
-		scheduler = sched.NewWFQ(cfg.LinkRate, s.Now, tokenRates(specs))
-	case FIFOThreshold, WFQThreshold:
-		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
-		if err != nil {
-			return Result{}, err
-		}
-		mgr = buffer.NewFixedThreshold(cfg.Buffer, th)
-		if cfg.Scheme == FIFOThreshold {
-			scheduler = sched.NewFIFO()
-		} else {
-			scheduler = sched.NewWFQ(cfg.LinkRate, s.Now, tokenRates(specs))
-		}
-	case FIFOSharing, WFQSharing:
-		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
-		if err != nil {
-			return Result{}, err
-		}
-		mgr = buffer.NewSharing(cfg.Buffer, th, cfg.Headroom)
-		if cfg.Scheme == FIFOSharing {
-			scheduler = sched.NewFIFO()
-		} else {
-			scheduler = sched.NewWFQ(cfg.LinkRate, s.Now, tokenRates(specs))
-		}
-	case HybridSharing:
-		var err error
-		mgr, scheduler, err = buildHybrid(&cfg, s, specs)
-		if err != nil {
-			return Result{}, err
-		}
-	case FIFODynamicThreshold:
-		mgr = buffer.NewDynamicThreshold(cfg.Buffer, n, cfg.DynAlpha)
-		scheduler = sched.NewFIFO()
-	case FIFORed:
-		minTh := cfg.Buffer / 4
-		maxTh := cfg.Buffer * 3 / 4
-		mgr = buffer.NewRED(cfg.Buffer, n, minTh, maxTh, 0.1, sim.NewRand(sim.DeriveSeed(cfg.Seed, 1<<20)))
-		scheduler = sched.NewFIFO()
-	case FIFOAdaptiveSharing:
-		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
-		if err != nil {
-			return Result{}, err
-		}
-		// Aggressive flows are treated as non-adaptive (they do not
-		// respond to loss); everyone else may borrow freely. The
-		// non-adaptive fraction defaults to 1/4 of the holes.
-		adaptive := make([]bool, n)
-		for i, f := range cfg.Flows {
-			adaptive[i] = f.Conformance != Aggressive
-		}
-		mgr = buffer.NewAdaptiveSharing(cfg.Buffer, th, adaptive, cfg.Headroom, 0.25)
-		scheduler = sched.NewFIFO()
-	case RPQThreshold:
-		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
-		if err != nil {
-			return Result{}, err
-		}
-		mgr = buffer.NewFixedThreshold(cfg.Buffer, th)
-		scheduler = sched.NewRPQ(4, 0.002, s.Now, delayClasses(specs))
-	case DRRThreshold, EDFThreshold, VCThreshold:
-		th, err := core.Thresholds(specs, cfg.LinkRate, cfg.Buffer)
-		if err != nil {
-			return Result{}, err
-		}
-		mgr = buffer.NewFixedThreshold(cfg.Buffer, th)
-		switch cfg.Scheme {
-		case DRRThreshold:
-			scheduler = sched.NewDRR(tokenRates(specs), cfg.PacketSize)
-		case EDFThreshold:
-			// Per-flow delay budgets: the flow's own burst drain time
-			// σ/ρ, the natural deadline for a conformant flow.
-			budgets := make([]float64, n)
-			for i, sp := range specs {
-				budgets[i] = sp.BucketSize.Bits() / sp.TokenRate.BitsPerSecond()
-			}
-			scheduler = sched.NewEDF(s.Now, budgets)
-		default:
-			scheduler = sched.NewVirtualClock(s.Now, tokenRates(specs))
-		}
-	default:
-		return Result{}, fmt.Errorf("experiment: unknown scheme %v", cfg.Scheme)
+	sc, err := cfg.resolveScheme()
+	if err != nil {
+		return Result{}, err
+	}
+	mgr, scheduler, err := sc.Build(cfg.schemeConfig(s))
+	if err != nil {
+		return Result{}, err
 	}
 
 	link := sched.NewLink(s, cfg.LinkRate, scheduler, mgr, col)
@@ -269,7 +101,7 @@ func Run(ctx context.Context, o *Options) (Result, error) {
 		if in, ok := mgr.(buffer.Instrumentable); ok {
 			in.Instrument(cfg.Metrics, "buffer")
 		}
-		link.Instrument(cfg.Metrics, cfg.Scheme.String())
+		link.Instrument(cfg.Metrics, sc.String())
 	}
 	for i, f := range cfg.Flows {
 		rng := sim.NewRand(sim.DeriveSeed(cfg.Seed, i))
@@ -347,87 +179,42 @@ func Run(ctx context.Context, o *Options) (Result, error) {
 	return res, nil
 }
 
-// tokenRates returns the WFQ weights: "the token rate is used to
-// determine the weight used for the flow".
-func tokenRates(specs []packet.FlowSpec) []units.Rate {
-	rates := make([]units.Rate, len(specs))
-	for i, s := range specs {
-		rates[i] = s.TokenRate
+// schemeConfig assembles the scheme.Config describing this run's link:
+// the declared flow profiles, the link physics, and the adaptivity
+// flags (aggressive flows do not respond to loss, so adaptive-sharing
+// restricts their borrowing).
+func (o *Options) schemeConfig(s *sim.Simulator) scheme.Config {
+	adaptive := make([]bool, len(o.Flows))
+	for i, f := range o.Flows {
+		adaptive[i] = f.Conformance != Aggressive
 	}
-	return rates
+	return scheme.Config{
+		Specs:      Specs(o.Flows),
+		LinkRate:   o.LinkRate,
+		Buffer:     o.Buffer,
+		Headroom:   o.Headroom,
+		QueueOf:    o.QueueOf,
+		Adaptive:   adaptive,
+		PacketSize: o.PacketSize,
+		Now:        s.Now,
+		Seed:       o.Seed,
+	}
 }
 
-// delayClasses maps flows to RPQ delay classes by their burst-to-rate
-// ratio σ/ρ: smooth low-burst flows (telephony-like) get tighter
-// classes, bursty ones looser — the same classification intuition as
-// the paper's §4.1 queue-grouping guidance.
-func delayClasses(specs []packet.FlowSpec) []int {
-	classes := make([]int, len(specs))
-	for i, s := range specs {
-		ratio := s.BucketSize.Bits() / s.TokenRate.BitsPerSecond() // seconds of burst
-		switch {
-		case ratio < 0.05:
-			classes[i] = 0
-		case ratio < 0.15:
-			classes[i] = 1
-		case ratio < 0.5:
-			classes[i] = 2
-		default:
-			classes[i] = 3
-		}
+// resolveScheme returns the run's parsed scheme: SchemeSpec when set
+// (the registry path), otherwise the deprecated Scheme enum mapped onto
+// its registry entry, with DynAlpha carried into the dynthresh α
+// parameter.
+func (o *Options) resolveScheme() (*scheme.Scheme, error) {
+	if o.SchemeSpec != "" {
+		return scheme.Parse(o.SchemeSpec)
 	}
-	return classes
-}
-
-// buildHybrid assembles the §4.2 configuration: Proposition 3 rate
-// allocation across queues, buffer partitioning in proportion to the
-// per-queue minimum requirements, per-flow thresholds within queues,
-// and a sharing manager per queue.
-func buildHybrid(cfg *Options, s *sim.Simulator, specs []packet.FlowSpec) (buffer.Manager, sched.Scheduler, error) {
-	if len(cfg.QueueOf) != len(cfg.Flows) {
-		return nil, nil, fmt.Errorf("experiment: hybrid needs QueueOf for every flow")
-	}
-	k := 0
-	for _, q := range cfg.QueueOf {
-		if q+1 > k {
-			k = q + 1
-		}
-	}
-	groups, err := core.GroupFlows(specs, cfg.QueueOf, k)
+	spec, err := o.Scheme.spec()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	rates, err := core.AllocateHybrid(cfg.LinkRate, groups)
-	if err != nil {
-		return nil, nil, err
+	if o.Scheme == FIFODynamicThreshold && o.DynAlpha != 0 && o.DynAlpha != 1 {
+		spec = fmt.Sprintf("%s?alpha=%g", spec, o.DynAlpha)
 	}
-	minBuf, err := core.HybridBufferPerQueue(cfg.LinkRate, groups)
-	if err != nil {
-		return nil, nil, err
-	}
-	queueBuf := core.PartitionBuffer(cfg.Buffer, minBuf)
-	th, err := core.HybridThresholds(specs, cfg.QueueOf, groups, queueBuf)
-	if err != nil {
-		return nil, nil, err
-	}
-	managers := make([]buffer.Manager, k)
-	for q := 0; q < k; q++ {
-		// Per-queue thresholds vector, zero for non-member flows (they
-		// are never seen by this queue's manager).
-		qth := make([]units.Bytes, len(specs))
-		for i, f := range cfg.QueueOf {
-			if f == q {
-				qth[i] = th[i]
-			}
-		}
-		// Headroom is split like the buffer.
-		var h units.Bytes
-		if cfg.Buffer > 0 {
-			h = units.Bytes(float64(cfg.Headroom) * float64(queueBuf[q]) / float64(cfg.Buffer))
-		}
-		managers[q] = buffer.NewSharing(queueBuf[q], qth, h)
-	}
-	mgr := buffer.NewPartitioned(cfg.QueueOf, managers)
-	scheduler := sched.NewHybrid(cfg.LinkRate, s.Now, cfg.QueueOf, rates)
-	return mgr, scheduler, nil
+	return scheme.Parse(spec)
 }

@@ -1,0 +1,133 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/scheme"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// mixedResult summarizes one mixed-scheme path run for the determinism
+// comparison: delivered volume and packet counts per flow, plus per-hop
+// drop counts.
+type mixedResult struct {
+	Bytes   []units.Bytes
+	Packets []int64
+	Drops   []int64
+}
+
+// runMixedPath drives three shaped on/off flows through a two-hop path
+// whose hops use different registry specs — fixed thresholds at hop 1,
+// WFQ with headroom sharing at hop 2 — and returns the end-to-end
+// delivery statistics.
+func runMixedPath(t *testing.T, seed int64) mixedResult {
+	t.Helper()
+	s := sim.New()
+	linkRate := units.MbitsPerSecond(48)
+	mk := func(peak, tok, bucketKB float64) packet.FlowSpec {
+		return packet.FlowSpec{
+			PeakRate:   units.MbitsPerSecond(peak),
+			TokenRate:  units.MbitsPerSecond(tok),
+			BucketSize: units.KiloBytes(bucketKB),
+		}
+	}
+	specs := []packet.FlowSpec{mk(16, 2, 50), mk(40, 8, 100), mk(16, 4, 50)}
+	cfg := scheme.Config{
+		Specs:    specs,
+		LinkRate: linkRate,
+		Buffer:   units.KiloBytes(500),
+		Headroom: units.KiloBytes(100),
+		Seed:     seed,
+	}
+	r1, err := NewRouterSpec(s, "hop1", "fifo+threshold", cfg, stats.NewCollector(len(specs), 0), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRouterSpec(s, "hop2", "wfq+sharing", cfg, stats.NewCollector(len(specs), 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := NewPath(s, []*Router{r1, r2}, len(specs))
+
+	for i, spec := range specs {
+		rng := sim.NewRand(sim.DeriveSeed(seed, i))
+		sh := source.NewShaper(s, spec, path.Head())
+		src := source.NewOnOff(s, rng, source.OnOffConfig{
+			Flow:       i,
+			PacketSize: 500,
+			PeakRate:   spec.PeakRate,
+			AvgRate:    spec.TokenRate,
+			MeanBurst:  spec.BucketSize,
+		}, sh)
+		src.Start()
+	}
+	s.RunUntil(5)
+
+	res := mixedResult{
+		Bytes:   make([]units.Bytes, len(specs)),
+		Packets: make([]int64, len(specs)),
+	}
+	for i := range specs {
+		res.Bytes[i] = path.Delivery.Bytes(i)
+		res.Packets[i] = path.Delivery.Packets(i)
+	}
+	for _, r := range path.Routers {
+		var drops int64
+		for i := range specs {
+			drops += r.Collector().Flow(i).Dropped.Total().Packets
+		}
+		res.Drops = append(res.Drops, drops)
+	}
+	return res
+}
+
+// TestMixedSchemePathDeterministicAcrossSeeds: a path mixing two
+// different registry specs per hop delivers sane end-to-end statistics,
+// and rebuilding the identical scenario from its spec strings is
+// bit-deterministic for every seed.
+func TestMixedSchemePathDeterministicAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a := runMixedPath(t, seed)
+		b := runMixedPath(t, seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: identical mixed-scheme runs diverged:\n%+v\n%+v", seed, a, b)
+		}
+		var total units.Bytes
+		for i, bytes := range a.Bytes {
+			if bytes <= 0 || a.Packets[i] <= 0 {
+				t.Errorf("seed %d: flow %d delivered nothing end-to-end", seed, i)
+			}
+			total += bytes
+		}
+		// Shaped token rates sum to 14 Mb/s — delivery must stay inside
+		// the link capacity but carry a meaningful share of the offer.
+		if got := total.Bits() / 5; got > 48e6 {
+			t.Errorf("seed %d: delivered %v b/s above the 48 Mb/s link", seed, got)
+		} else if got < 1e6 {
+			t.Errorf("seed %d: delivered only %v b/s end-to-end", seed, got)
+		}
+	}
+}
+
+// TestRouterSpecErrors: bad specs and unbuildable configs surface as
+// errors, naming the hop.
+func TestRouterSpecErrors(t *testing.T) {
+	s := sim.New()
+	cfg := scheme.Config{
+		Specs:    []packet.FlowSpec{{TokenRate: units.MbitsPerSecond(2), BucketSize: 1000}},
+		LinkRate: units.MbitsPerSecond(48),
+		Buffer:   units.KiloBytes(100),
+	}
+	if _, err := NewRouterSpec(s, "bad", "bogus+threshold", cfg, nil, 0); err == nil {
+		t.Error("unknown spec built a router")
+	}
+	// hybrid needs a queue map; the Build error must propagate.
+	if _, err := NewRouterSpec(s, "bad", "hybrid+sharing", cfg, nil, 0); err == nil {
+		t.Error("hybrid without a queue map built a router")
+	}
+}

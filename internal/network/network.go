@@ -13,6 +13,7 @@ import (
 	"bufqos/internal/buffer"
 	"bufqos/internal/packet"
 	"bufqos/internal/sched"
+	"bufqos/internal/scheme"
 	"bufqos/internal/sim"
 	"bufqos/internal/stats"
 	"bufqos/internal/units"
@@ -49,6 +50,28 @@ func NewRouter(s *sim.Simulator, name string, rate units.Rate, scheduler sched.S
 	r.link = sched.NewLink(s, rate, scheduler, mgr, col)
 	r.link.OnDepart = r.forward
 	return r
+}
+
+// NewRouterSpec builds a hop from a scheme-registry spec string (e.g.
+// "fifo+threshold", "wfq+sharing", "fifo+red?min=0.2"), so a multi-hop
+// path can mix schemes per hop with the exact builders the experiment
+// layer uses. cfg describes the hop's link (flows, rate, buffer); its
+// Now field defaults to the simulator clock. col may be nil; prop is
+// the propagation delay (seconds) to the next hop.
+func NewRouterSpec(s *sim.Simulator, name, spec string, cfg scheme.Config,
+	col *stats.Collector, prop float64) (*Router, error) {
+	sc, err := scheme.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("network: router %s: %w", name, err)
+	}
+	if cfg.Now == nil {
+		cfg.Now = s.Now
+	}
+	mgr, scheduler, err := sc.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("network: router %s: %w", name, err)
+	}
+	return NewRouter(s, name, cfg.LinkRate, scheduler, mgr, col, prop), nil
 }
 
 // Link exposes the router's output link (for occupancy inspection or
