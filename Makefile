@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race lint bench bench-smoke
+.PHONY: verify build vet test race lint bench bench-smoke topo-smoke
 
 verify: build vet test race
 
@@ -37,3 +37,12 @@ bench:
 # CI runs this on every push.
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkTable1Workload$$|BenchmarkEndToEndSimulation' -benchtime 1x .
+
+# Run every shipped topology scenario short with -check: fails if any
+# admitted conformant flow loses conformant traffic at any hop or
+# misses its reserved throughput. CI runs this on every push.
+topo-smoke:
+	@set -e; for f in topologies/*.json; do \
+		echo "== $$f"; \
+		go run ./cmd/qnet -topology $$f -duration 5 -runs 2 -check; \
+	done

@@ -1,0 +1,201 @@
+// Command qnet runs declarative multi-hop scenarios: a JSON topology
+// file names links (each an independent multiplexing point built from a
+// scheme-registry spec), flows with explicit routes and (σ, ρ)
+// envelopes, and a timeline of events (flow churn, link rate changes,
+// failures). Every flow join is gated by admission control at every
+// traversed link; after the run, the per-hop guarantees are verified
+// (zero conformant loss, reserved throughput end-to-end).
+//
+// Usage:
+//
+//	qnet -topology topologies/tandem3.json
+//	qnet -topology topologies/churn.json -runs 5 -workers 4 -check
+//	qnet -topology topologies/parkinglot.json -csv out/ -metrics m.json
+//	qnet -list-schemes
+//
+// Results are bit-identical for a given seed at any -workers count.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"bufqos/internal/metrics"
+	"bufqos/internal/report"
+	"bufqos/internal/scheme"
+	"bufqos/internal/topology"
+)
+
+// maxWorkers clamps absurd -workers values: beyond a few times the CPU
+// count extra goroutines only add scheduling overhead.
+func maxWorkers() int { return 8 * runtime.GOMAXPROCS(0) }
+
+func main() {
+	var (
+		topoPath    = flag.String("topology", "", "JSON scenario file (required)")
+		duration    = flag.Float64("duration", 10, "simulated seconds per run")
+		runs        = flag.Int("runs", 1, "independent replications (run r uses seed+r)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		workers     = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		csvDir      = flag.String("csv", "", "directory for per-flow and per-link CSV files (optional)")
+		metricsOut  = flag.String("metrics", "", "write aggregated metrics as JSON to this file ('-' for stderr) when done")
+		checkFlag   = flag.Bool("check", false, "verify the composed QoS guarantees and exit 1 on any violation")
+		listSchemes = flag.Bool("list-schemes", false, "print the scheme registry catalogue and exit")
+		showProgres = flag.Bool("progress", false, "report run progress on stderr")
+	)
+	flag.Parse()
+
+	if *listSchemes {
+		if err := scheme.WriteCatalogue(os.Stdout); err != nil {
+			fatalf("writing catalogue: %v", err)
+		}
+		return
+	}
+	if *topoPath == "" {
+		fatalf("-topology is required (or -list-schemes)")
+	}
+	if *workers < 0 {
+		fatalf("-workers must be >= 0 (got %d)", *workers)
+	}
+	if max := maxWorkers(); *workers > max {
+		fmt.Fprintf(os.Stderr, "qnet: clamping -workers %d to %d (8x GOMAXPROCS)\n", *workers, max)
+		*workers = max
+	}
+
+	topo, err := topology.Load(*topoPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if topo.Description != "" {
+		fmt.Fprintf(os.Stderr, "qnet: %s: %s\n", topo.Name, topo.Description)
+	}
+
+	opts := topology.Options{Duration: *duration, Seed: *seed}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		opts.Metrics = reg
+	}
+	var onDone func(int)
+	if *showProgres {
+		onDone = progressPrinter(*runs)
+	}
+
+	// Ctrl-C cancels between chunks of simulated time.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	results, err := topology.RunMany(ctx, topo, opts, *runs, *workers, onDone)
+	flushMetrics(reg, *metricsOut)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "qnet: interrupted")
+			os.Exit(130)
+		}
+		fatalf("%v", err)
+	}
+
+	if err := topology.WriteFlowTable(os.Stdout, topo, results); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println()
+	if err := topology.WriteLinkTable(os.Stdout, topo, results); err != nil {
+		fatalf("%v", err)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("creating %s: %v", *csvDir, err)
+		}
+		base := strings.TrimSuffix(filepath.Base(*topoPath), filepath.Ext(*topoPath))
+		writeCSV(filepath.Join(*csvDir, base+"_flows.csv"), func(f *os.File) error {
+			return topology.WriteFlowCSV(f, topo, results)
+		})
+		writeCSV(filepath.Join(*csvDir, base+"_links.csv"), func(f *os.File) error {
+			return topology.WriteLinkCSV(f, topo, results)
+		})
+	}
+
+	if *checkFlag {
+		fmt.Println()
+		as := topology.VerifyMany(topo, results)
+		if failed := report.WriteAssertions(os.Stdout, as); failed > 0 {
+			fatalf("%d of %d assertions failed", failed, len(as))
+		}
+		fmt.Printf("all %d assertions passed\n", len(as))
+	}
+}
+
+func writeCSV(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("creating %s: %v", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("closing %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// progressPrinter returns an onDone callback that rewrites one stderr
+// line. It arrives concurrently from pool workers, so it serializes
+// with a mutex.
+func progressPrinter(total int) func(int) {
+	var mu sync.Mutex
+	done := 0
+	start := time.Now()
+	return func(int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		fmt.Fprintf(os.Stderr, "\rqnet: %d/%d runs (%s elapsed)   ",
+			done, total, time.Since(start).Round(time.Second))
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// flushMetrics writes the aggregated registry as JSON to path ("-" for
+// stderr), even after an interrupt.
+func flushMetrics(reg *metrics.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	if path == "-" {
+		if err := reg.Snapshot().WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "qnet: writing metrics: %v\n", err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qnet: creating %s: %v\n", path, err)
+		return
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "qnet: writing %s: %v\n", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "qnet: closing %s: %v\n", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "qnet: metrics written to %s\n", path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qnet: "+format+"\n", args...)
+	os.Exit(1)
+}

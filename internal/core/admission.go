@@ -78,6 +78,18 @@ func NewAdmissionController(d Discipline, rate units.Rate, buffer units.Bytes) *
 // NumFlows returns the number of admitted flows.
 func (a *AdmissionController) NumFlows() int { return len(a.flows) }
 
+// Discipline returns the schedulability region the controller enforces.
+func (a *AdmissionController) Discipline() Discipline { return a.discipline }
+
+// Rate returns the link rate R the controller was built for.
+func (a *AdmissionController) Rate() units.Rate { return a.rate }
+
+// Buffer returns the total buffer B the controller was built for.
+func (a *AdmissionController) Buffer() units.Bytes { return a.buffer }
+
+// SumSigma returns Σσ over the admitted set.
+func (a *AdmissionController) SumSigma() units.Bytes { return a.sumSigma }
+
 // Utilization returns the reserved utilization u = Σρ/R of the admitted
 // set.
 func (a *AdmissionController) Utilization() float64 {

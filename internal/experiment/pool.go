@@ -35,6 +35,14 @@ var queueWaitBuckets = metrics.ExpBuckets(0.001, 2, 24)
 // and a "pool.queue_wait_seconds" histogram of how long each job sat
 // queued before a worker picked it up. These execution metrics depend
 // on the worker count by nature, unlike the simulation metrics.
+// ForEachJob exposes the sweep worker pool to the other run drivers in
+// this repository (the topology engine, cmd/qnet): same contract as
+// forEachJob, including the identical-output-for-any-worker-count
+// guarantee when callers write results into pre-assigned slots.
+func ForEachJob(ctx context.Context, workers, n int, reg *metrics.Registry, onDone func(i int), fn func(i int) error) error {
+	return forEachJob(ctx, workers, n, reg, onDone, fn)
+}
+
 func forEachJob(ctx context.Context, workers, n int, reg *metrics.Registry, onDone func(i int), fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

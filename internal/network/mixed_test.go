@@ -1,9 +1,13 @@
 package network
 
 import (
+	"context"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
+	"bufqos/internal/experiment"
 	"bufqos/internal/packet"
 	"bufqos/internal/scheme"
 	"bufqos/internal/sim"
@@ -14,11 +18,12 @@ import (
 
 // mixedResult summarizes one mixed-scheme path run for the determinism
 // comparison: delivered volume and packet counts per flow, plus per-hop
-// drop counts.
+// drop and forward counts.
 type mixedResult struct {
-	Bytes   []units.Bytes
-	Packets []int64
-	Drops   []int64
+	Bytes     []units.Bytes
+	Packets   []int64
+	Drops     []int64
+	Forwarded []int64
 }
 
 // runMixedPath drives three shaped on/off flows through a two-hop path
@@ -129,5 +134,108 @@ func TestRouterSpecErrors(t *testing.T) {
 	// hybrid needs a queue map; the Build error must propagate.
 	if _, err := NewRouterSpec(s, "bad", "hybrid+sharing", cfg, nil, 0); err == nil {
 		t.Error("hybrid without a queue map built a router")
+	}
+	// A negative propagation delay is a spec error, not a panic.
+	_, err := NewRouterSpec(s, "hop7", "fifo+threshold", cfg, nil, -0.001)
+	if err == nil {
+		t.Fatal("negative propagation delay built a router")
+	}
+	if !strings.Contains(err.Error(), "hop7") || !strings.Contains(err.Error(), "propagation") {
+		t.Errorf("error %q should name the hop and the bad propagation delay", err)
+	}
+	// An invalid flow spec fails the scheme build (threshold computation).
+	bad := cfg
+	bad.Specs = []packet.FlowSpec{{TokenRate: -1}}
+	if _, err := NewRouterSpec(s, "bad", "fifo+threshold", bad, nil, 0); err == nil {
+		t.Error("negative token rate built a router")
+	}
+}
+
+// runThreeHopMixedPath drives the three shaped flows of runMixedPath
+// through a three-hop path mixing three different registry specs, and
+// returns the end-to-end delivery counters plus per-hop forward counts.
+func runThreeHopMixedPath(t *testing.T, seed int64) mixedResult {
+	t.Helper()
+	s := sim.New()
+	mk := func(peak, tok, bucketKB float64) packet.FlowSpec {
+		return packet.FlowSpec{
+			PeakRate:   units.MbitsPerSecond(peak),
+			TokenRate:  units.MbitsPerSecond(tok),
+			BucketSize: units.KiloBytes(bucketKB),
+		}
+	}
+	specs := []packet.FlowSpec{mk(16, 2, 50), mk(40, 8, 100), mk(16, 4, 50)}
+	cfg := scheme.Config{
+		Specs:    specs,
+		LinkRate: units.MbitsPerSecond(48),
+		Buffer:   units.KiloBytes(500),
+		Headroom: units.KiloBytes(100),
+		Seed:     seed,
+	}
+	var routers []*Router
+	for i, spec := range []string{"fifo+threshold", "wfq+sharing", "drr+dynthresh?alpha=2"} {
+		r, err := NewRouterSpec(s, fmt.Sprintf("hop%d", i), spec, cfg,
+			stats.NewCollector(len(specs), 0), 0.0005*float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers = append(routers, r)
+	}
+	path := NewPath(s, routers, len(specs))
+	for i, spec := range specs {
+		rng := sim.NewRand(sim.DeriveSeed(seed, i))
+		sh := source.NewShaper(s, spec, path.Head())
+		src := source.NewOnOff(s, rng, source.OnOffConfig{
+			Flow:       i,
+			PacketSize: 500,
+			PeakRate:   spec.PeakRate,
+			AvgRate:    spec.TokenRate,
+			MeanBurst:  spec.BucketSize,
+		}, sh)
+		src.Start()
+	}
+	s.RunUntil(5)
+
+	res := mixedResult{
+		Bytes:   make([]units.Bytes, len(specs)),
+		Packets: make([]int64, len(specs)),
+	}
+	for i := range specs {
+		res.Bytes[i] = path.Delivery.Bytes(i)
+		res.Packets[i] = path.Delivery.Packets(i)
+	}
+	for _, r := range path.Routers {
+		var drops, fwd int64
+		for i := range specs {
+			drops += r.Collector().Flow(i).Dropped.Total().Packets
+			fwd += r.Forwarded(i)
+		}
+		res.Drops = append(res.Drops, drops)
+		res.Forwarded = append(res.Forwarded, fwd)
+	}
+	return res
+}
+
+// TestThreeHopMixedSchemeDeterministicAcrossWorkers: running the same
+// seeds of a three-hop mixed-scheme path on the experiment worker pool
+// yields bit-identical Delivery counters for any worker count.
+func TestThreeHopMixedSchemeDeterministicAcrossWorkers(t *testing.T) {
+	seeds := []int64{2, 13, 29, 31, 47, 53}
+	want := make([]mixedResult, len(seeds))
+	for i, seed := range seeds {
+		want[i] = runThreeHopMixedPath(t, seed)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := make([]mixedResult, len(seeds))
+		err := experiment.ForEachJob(context.Background(), workers, len(seeds), nil, nil, func(i int) error {
+			got[i] = runThreeHopMixedPath(t, seeds[i])
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results diverged from sequential baseline:\n%+v\n%+v", workers, got, want)
+		}
 	}
 }

@@ -30,7 +30,7 @@ type Router struct {
 	col   *stats.Collector
 	next  map[int]func(p *packet.Packet)
 	prop  float64
-	nhops map[int]int // diagnostics: how many packets forwarded per flow
+	nhops map[int]int64 // diagnostics: how many packets forwarded per flow
 }
 
 // NewRouter builds a hop. col may be nil; prop is the propagation delay
@@ -41,11 +41,12 @@ func NewRouter(s *sim.Simulator, name string, rate units.Rate, scheduler sched.S
 		panic(fmt.Sprintf("network: negative propagation delay %v", prop))
 	}
 	r := &Router{
-		Name: name,
-		sim:  s,
-		col:  col,
-		next: map[int]func(p *packet.Packet){},
-		prop: prop,
+		Name:  name,
+		sim:   s,
+		col:   col,
+		next:  map[int]func(p *packet.Packet){},
+		prop:  prop,
+		nhops: map[int]int64{},
 	}
 	r.link = sched.NewLink(s, rate, scheduler, mgr, col)
 	r.link.OnDepart = r.forward
@@ -60,6 +61,9 @@ func NewRouter(s *sim.Simulator, name string, rate units.Rate, scheduler sched.S
 // the propagation delay (seconds) to the next hop.
 func NewRouterSpec(s *sim.Simulator, name, spec string, cfg scheme.Config,
 	col *stats.Collector, prop float64) (*Router, error) {
+	if prop < 0 {
+		return nil, fmt.Errorf("network: router %s: negative propagation delay %v", name, prop)
+	}
 	sc, err := scheme.Parse(spec)
 	if err != nil {
 		return nil, fmt.Errorf("network: router %s: %w", name, err)
@@ -95,11 +99,17 @@ func (r *Router) SetRoute(flow int, next func(p *packet.Packet)) {
 	r.next[flow] = next
 }
 
+// Forwarded returns how many of flow's packets this router has handed
+// to a next hop so far (packets terminating here, or departing with no
+// route set, are not counted).
+func (r *Router) Forwarded(flow int) int64 { return r.nhops[flow] }
+
 func (r *Router) forward(p *packet.Packet) {
 	next, ok := r.next[p.Flow]
 	if !ok {
 		return
 	}
+	r.nhops[p.Flow]++
 	if r.prop == 0 {
 		// Forward within the same event: the packet arrives at the next
 		// hop the instant its last bit leaves this one.
@@ -136,8 +146,18 @@ func NewDelivery(s *sim.Simulator, nflows int) *Delivery {
 	return d
 }
 
+// NumFlows returns how many flows the delivery sink tracks.
+func (d *Delivery) NumFlows() int { return len(d.packets) }
+
 // Receive implements the forwarding signature: record the completion.
+// A packet whose flow ID is outside the sink's range panics with a
+// message naming the flow — a topology that forwards an unknown flow is
+// a wiring bug, and the bare index-out-of-range panic it used to cause
+// gave no hint which flow was misrouted.
 func (d *Delivery) Receive(p *packet.Packet) {
+	if p.Flow < 0 || p.Flow >= len(d.packets) {
+		panic(fmt.Sprintf("network: delivery received packet of unknown flow %d (tracking flows 0..%d); check the topology's routes", p.Flow, len(d.packets)-1))
+	}
 	d.packets[p.Flow]++
 	d.bytes[p.Flow] += p.Size
 	d.delays[p.Flow].Add(d.sim.Now() - p.Created)

@@ -1,7 +1,9 @@
 package network
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"bufqos/internal/buffer"
@@ -196,5 +198,55 @@ func TestDeliveryThroughputZeroTime(t *testing.T) {
 	d := NewDelivery(s, 1)
 	if d.Throughput(0) != 0 {
 		t.Error("throughput at t=0 should be 0")
+	}
+}
+
+func TestForwardedCountsPerFlow(t *testing.T) {
+	// Forwarded counts only packets handed to a next hop: flow 0 is
+	// routed onward, flow 1 terminates at the router, flow 2 never sends.
+	s := sim.New()
+	r := fifoRouter(s, "r", units.MbitsPerSecond(48), units.MegaBytes(1), 3, 0)
+	d := NewDelivery(s, 3)
+	r.SetRoute(0, d.Receive)
+	for i := 0; i < 5; i++ {
+		r.Receive(&packet.Packet{Flow: 0, Size: 500})
+	}
+	r.Receive(&packet.Packet{Flow: 1, Size: 500})
+	s.Run(0)
+	if got := r.Forwarded(0); got != 5 {
+		t.Errorf("flow 0: forwarded %d, want 5", got)
+	}
+	if got := r.Forwarded(1); got != 0 {
+		t.Errorf("flow 1 terminates here; forwarded %d, want 0", got)
+	}
+	if got := r.Forwarded(2); got != 0 {
+		t.Errorf("flow 2 never sent; forwarded %d, want 0", got)
+	}
+	if got := d.Packets(0); got != 5 {
+		t.Errorf("delivery saw %d packets of flow 0, want 5", got)
+	}
+}
+
+func TestDeliveryUnknownFlowPanicsWithFlowID(t *testing.T) {
+	s := sim.New()
+	d := NewDelivery(s, 2)
+	if d.NumFlows() != 2 {
+		t.Fatalf("NumFlows = %d, want 2", d.NumFlows())
+	}
+	for _, flow := range []int{-1, 2, 7} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("flow %d: out-of-range delivery did not panic", flow)
+					return
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, fmt.Sprintf("flow %d", flow)) {
+					t.Errorf("flow %d: panic %q does not name the flow", flow, msg)
+				}
+			}()
+			d.Receive(&packet.Packet{Flow: flow, Size: 500})
+		}()
 	}
 }

@@ -1,0 +1,27 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteAssertions(t *testing.T) {
+	as := []Assertion{
+		{Name: "zero-loss", Detail: "flow a over hop1"},
+		{Name: "throughput", Detail: "flow b", Err: errors.New("1.2 Mb/s below reserved 2 Mb/s")},
+	}
+	var sb strings.Builder
+	if failed := WriteAssertions(&sb, as); failed != 1 {
+		t.Errorf("failed = %d, want 1", failed)
+	}
+	out := sb.String()
+	for _, want := range []string{"PASS", "FAIL", "zero-loss", "below reserved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !as[1].Failed() || as[0].Failed() {
+		t.Error("Failed() disagrees with Err")
+	}
+}

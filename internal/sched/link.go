@@ -23,6 +23,7 @@ type Link struct {
 	col   *stats.Collector
 
 	busy bool
+	down bool
 	// OnDepart, if set, is called after each completed transmission.
 	// The fluid tests and the greedy feedback source use it.
 	OnDepart func(p *packet.Packet)
@@ -63,6 +64,36 @@ func NewLink(s *sim.Simulator, rate units.Rate, sched Scheduler, mgr buffer.Mana
 // Rate returns the link rate.
 func (l *Link) Rate() units.Rate { return l.rate }
 
+// SetRate changes the link rate for transmissions started from now on.
+// The in-flight packet, if any, completes at the rate in force when it
+// began (the serialization of a packet already on the wire cannot be
+// sped up or slowed down). Scenario engines use this for mid-run
+// capacity changes; a non-positive rate panics as in NewLink.
+func (l *Link) SetRate(rate units.Rate) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("link: non-positive rate %v", rate))
+	}
+	l.rate = rate
+}
+
+// SetDown fails (true) or recovers (false) the link. A failed link
+// starts no new transmissions: arriving packets still pass buffer
+// admission and queue up (a dead output port keeps its buffer), so the
+// buffer fills and drops accrue while the link is down. The in-flight
+// packet, if any, completes. Recovery resumes service immediately.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down && !l.busy {
+		l.startNext()
+	}
+}
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
 // Manager returns the buffer manager, for occupancy inspection.
 func (l *Link) Manager() buffer.Manager { return l.mgr }
 
@@ -94,6 +125,10 @@ func (l *Link) Receive(p *packet.Packet) {
 
 // startNext begins transmitting the scheduler's next packet, if any.
 func (l *Link) startNext() {
+	if l.down {
+		l.busy = false
+		return
+	}
 	p := l.sched.Dequeue()
 	if p == nil {
 		l.busy = false

@@ -167,3 +167,100 @@ func TestHybridEndToEndQueueRates(t *testing.T) {
 		t.Errorf("queue service ratio %.3f, want 3", ratio)
 	}
 }
+
+func TestLinkSetRateTakesEffectOnNextPacket(t *testing.T) {
+	s := sim.New()
+	rate := units.MbitsPerSecond(4)
+	col := stats.NewCollector(1, 0)
+	link := NewLink(s, rate, NewFIFO(), buffer.NewTailDrop(units.KiloBytes(100), 1), col)
+	// Two packets enqueued back-to-back: the first serializes at the old
+	// rate even though SetRate fires mid-transmission; the second at the
+	// new rate.
+	var times []float64
+	link.OnDepart = func(p *packet.Packet) { times = append(times, s.Now()) }
+	link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	s.After(1e-6, func() { link.SetRate(units.MbitsPerSecond(8)) })
+	s.Run(0)
+	if len(times) != 2 {
+		t.Fatalf("departures: %d, want 2", len(times))
+	}
+	slow := units.TransmissionTime(500, units.MbitsPerSecond(4))
+	fast := units.TransmissionTime(500, units.MbitsPerSecond(8))
+	if math.Abs(times[0]-slow) > 1e-12 {
+		t.Errorf("first departure at %v, want %v (old rate)", times[0], slow)
+	}
+	if math.Abs(times[1]-(slow+fast)) > 1e-12 {
+		t.Errorf("second departure at %v, want %v (new rate)", times[1], slow+fast)
+	}
+	if link.Rate() != units.MbitsPerSecond(8) {
+		t.Errorf("Rate() = %v after SetRate", link.Rate())
+	}
+}
+
+func TestLinkSetRateRejectsNonPositive(t *testing.T) {
+	s := sim.New()
+	link := NewLink(s, units.MbitsPerSecond(4), NewFIFO(), buffer.NewTailDrop(1000, 1), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRate(0) did not panic")
+		}
+	}()
+	link.SetRate(0)
+}
+
+func TestLinkFailureHaltsServiceAndRecoveryResumes(t *testing.T) {
+	s := sim.New()
+	rate := units.MbitsPerSecond(4)
+	col := stats.NewCollector(1, 0)
+	// Buffer fits exactly two packets: while the link is down, arrivals
+	// beyond that must drop.
+	link := NewLink(s, rate, NewFIFO(), buffer.NewTailDrop(1000, 1), col)
+	if link.Down() {
+		t.Fatal("new link reports Down")
+	}
+	link.SetDown(true)
+	for i := 0; i < 4; i++ {
+		link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	}
+	s.Run(0)
+	f := col.Flow(0)
+	if got := f.Departed.Total().Packets; got != 0 {
+		t.Errorf("failed link transmitted %d packets", got)
+	}
+	if got := f.Dropped.Total().Packets; got != 2 {
+		t.Errorf("dropped %d packets while down, want 2 (buffer holds 2)", got)
+	}
+	link.SetDown(false)
+	s.Run(0)
+	if got := f.Departed.Total().Packets; got != 2 {
+		t.Errorf("recovered link delivered %d queued packets, want 2", got)
+	}
+	// Idempotent recover on an idle link must not double-start service.
+	link.SetDown(false)
+	s.Run(0)
+	if got := f.Departed.Total().Packets; got != 2 {
+		t.Errorf("idempotent recover replayed service: %d departures", got)
+	}
+}
+
+func TestLinkInFlightPacketCompletesAcrossFailure(t *testing.T) {
+	s := sim.New()
+	rate := units.MbitsPerSecond(4)
+	col := stats.NewCollector(1, 0)
+	link := NewLink(s, rate, NewFIFO(), buffer.NewTailDrop(units.KiloBytes(10), 1), col)
+	link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	// Fail mid-first-transmission: the wire finishes the first packet,
+	// then service halts with the second still queued.
+	s.After(1e-6, func() { link.SetDown(true) })
+	s.Run(0)
+	if got := col.Flow(0).Departed.Total().Packets; got != 1 {
+		t.Errorf("departures with failure mid-transmission: %d, want 1", got)
+	}
+	link.SetDown(false)
+	s.Run(0)
+	if got := col.Flow(0).Departed.Total().Packets; got != 2 {
+		t.Errorf("departures after recovery: %d, want 2", got)
+	}
+}

@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bufqos/internal/units"
+)
+
+// The JSON scenario format mirrors the paper's units: rates in Mbits/s,
+// buffers and bucket depths in KBytes, propagation delays in
+// milliseconds, times in simulated seconds.
+type jsonTopology struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Links       []jsonLink  `json:"links"`
+	Flows       []jsonFlow  `json:"flows"`
+	Events      []jsonEvent `json:"events,omitempty"`
+}
+
+type jsonLink struct {
+	Name       string  `json:"name,omitempty"`
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	RateMbps   float64 `json:"rate_mbps"`
+	BufferKB   float64 `json:"buffer_kb"`
+	HeadroomKB float64 `json:"headroom_kb,omitempty"`
+	PropMs     float64 `json:"prop_delay_ms,omitempty"`
+	Scheme     string  `json:"scheme,omitempty"`
+	Queues     []int   `json:"queues,omitempty"`
+}
+
+type jsonFlow struct {
+	Name        string   `json:"name,omitempty"`
+	Route       []string `json:"route"`
+	PeakMbps    float64  `json:"peak_mbps,omitempty"`
+	TokenMbps   float64  `json:"token_mbps"`
+	BucketKB    float64  `json:"bucket_kb"`
+	AvgMbps     float64  `json:"avg_mbps,omitempty"`
+	BurstKB     float64  `json:"burst_kb,omitempty"`
+	PacketBytes float64  `json:"packet_bytes,omitempty"`
+	Source      string   `json:"source,omitempty"`
+	Shaped      bool     `json:"shaped,omitempty"`
+}
+
+type jsonEvent struct {
+	At       float64 `json:"at"`
+	Type     string  `json:"type"`
+	Flow     string  `json:"flow,omitempty"`
+	Link     string  `json:"link,omitempty"`
+	RateMbps float64 `json:"rate_mbps,omitempty"`
+}
+
+// Parse reads and validates a JSON scenario. Unknown fields are
+// rejected so typos in hand-written files surface immediately.
+func Parse(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jt jsonTopology
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	t := &Topology{Name: jt.Name, Description: jt.Description}
+	for _, jl := range jt.Links {
+		t.Links = append(t.Links, Link{
+			Name:      jl.Name,
+			From:      jl.From,
+			To:        jl.To,
+			Rate:      units.MbitsPerSecond(jl.RateMbps),
+			Buffer:    units.KiloBytes(jl.BufferKB),
+			Headroom:  units.KiloBytes(jl.HeadroomKB),
+			PropDelay: jl.PropMs / 1000,
+			Spec:      jl.Scheme,
+			Queues:    jl.Queues,
+		})
+	}
+	for _, jf := range jt.Flows {
+		f := Flow{
+			Name:       jf.Name,
+			RouteNodes: jf.Route,
+			Source:     SourceKind(jf.Source),
+			AvgRate:    units.MbitsPerSecond(jf.AvgMbps),
+			MeanBurst:  units.KiloBytes(jf.BurstKB),
+			PacketSize: units.Bytes(jf.PacketBytes),
+			Shaped:     jf.Shaped,
+		}
+		f.Spec.PeakRate = units.MbitsPerSecond(jf.PeakMbps)
+		f.Spec.TokenRate = units.MbitsPerSecond(jf.TokenMbps)
+		f.Spec.BucketSize = units.KiloBytes(jf.BucketKB)
+		t.Flows = append(t.Flows, f)
+	}
+	for _, je := range jt.Events {
+		t.Events = append(t.Events, Event{
+			At:   je.At,
+			Kind: EventKind(je.Type),
+			Flow: je.Flow,
+			Link: je.Link,
+			Rate: units.MbitsPerSecond(je.RateMbps),
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Load parses and validates the scenario file at path.
+func Load(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	defer f.Close()
+	t, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,387 @@
+// Package topology is the declarative scenario engine: a JSON file
+// names nodes, directed links (each an independent multiplexing point
+// with its own rate, buffer, and scheme-registry spec), flows with
+// explicit multi-hop routes and (σ, ρ) envelopes, and a timeline of
+// events (flow churn, link rate changes, failures). The engine gates
+// every flow join at every traversed link through the paper's
+// admission regions (Prop. 2 / eqs. 5–8), instantiates one
+// network.Router per link through the scheme registry, drives the whole
+// scenario on the deterministic event kernel, and verifies afterwards
+// that the per-hop guarantees composed: admitted conformant flows see
+// zero conformant loss at every hop and deliver their reserved rate.
+//
+// The paper analyses one output port; this package is the "backbone
+// deployment" reading of its claim — if each port of a network runs the
+// threshold scheme and admission control, the per-node guarantees hold
+// end-to-end along any route.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/scheme"
+	"bufqos/internal/units"
+)
+
+// Link is one directed edge: an output port of node From towards node
+// To, with its own scheduler/buffer-manager pair built from a
+// scheme-registry spec.
+type Link struct {
+	// Name identifies the link in results and events; it defaults to
+	// "from->to".
+	Name string
+	// From and To are node names. Nodes exist implicitly as endpoints.
+	From, To string
+	// Rate is the link capacity R.
+	Rate units.Rate
+	// Buffer is the output buffer B.
+	Buffer units.Bytes
+	// Headroom is the sharing headroom H (used by sharing managers).
+	Headroom units.Bytes
+	// PropDelay is the propagation delay towards To, in seconds.
+	PropDelay float64
+	// Spec is the scheme-registry spec, e.g. "fifo+threshold".
+	Spec string
+	// Queues optionally maps flow IDs to hybrid queues (required by
+	// hybrid specs, ignored otherwise).
+	Queues []int
+
+	scheme *scheme.Scheme
+}
+
+// SourceKind selects how a flow generates traffic.
+type SourceKind string
+
+const (
+	// SourceOnOff is the paper's Markov-modulated on-off source with
+	// exponential on/off periods (peak rate, average rate, mean burst).
+	SourceOnOff SourceKind = "onoff"
+	// SourceGreedy saturates the flow's shaper, so the flow's output
+	// tracks its (σ, ρ) envelope exactly — the right source for
+	// verifying that reserved rates are delivered.
+	SourceGreedy SourceKind = "greedy"
+	// SourceCBR emits at the flow's average rate with constant spacing.
+	SourceCBR SourceKind = "cbr"
+)
+
+// Flow is one end-to-end session: a declared (σ, ρ, peak) profile, an
+// explicit route through the link graph, and a traffic source.
+type Flow struct {
+	// Name identifies the flow in results and events.
+	Name string
+	// ID is the dense flow index (position in Topology.Flows); packet
+	// Flow fields and buffer-manager thresholds use it.
+	ID int
+	// Spec is the declared traffic contract.
+	Spec packet.FlowSpec
+	// RouteNodes is the node path, e.g. ["s0", "a", "b", "sink"].
+	RouteNodes []string
+	// Route is the resolved path as indices into Topology.Links.
+	Route []int
+	// Source selects the generator kind.
+	Source SourceKind
+	// AvgRate and MeanBurst parameterize the on-off source (the cbr
+	// source also sends at AvgRate). Both default from the spec:
+	// AvgRate = ρ, MeanBurst = σ.
+	AvgRate   units.Rate
+	MeanBurst units.Bytes
+	// PacketSize is the flow's packet size (default 500 bytes, the
+	// paper's maximum packet size).
+	PacketSize units.Bytes
+	// Shaped routes the source through a leaky-bucket shaper with the
+	// flow's profile, making its traffic conformant (Table 1 flows 0–5).
+	Shaped bool
+}
+
+// EventKind enumerates the scenario timeline verbs.
+type EventKind string
+
+const (
+	// EventJoin admits a flow (subject to admission control at every
+	// traversed link) and starts its source.
+	EventJoin EventKind = "join"
+	// EventLeave stops a flow's source and releases its reservations.
+	EventLeave EventKind = "leave"
+	// EventRate changes a link's capacity for future transmissions.
+	EventRate EventKind = "rate"
+	// EventFail halts a link's service; arrivals still buffer and drop.
+	EventFail EventKind = "fail"
+	// EventRecover resumes a failed link.
+	EventRecover EventKind = "recover"
+)
+
+// Event is one timeline entry. Flow events name a flow; link events
+// name a link.
+type Event struct {
+	At   float64
+	Kind EventKind
+	Flow string
+	Link string
+	Rate units.Rate // for EventRate
+
+	flow, link int // resolved indices
+}
+
+// Topology is a validated scenario: links, flows, and a timeline.
+type Topology struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Description is free text carried from the JSON file.
+	Description string
+	Links       []Link
+	Flows       []Flow
+	// Events is the timeline, sorted by time (ties keep file order, so
+	// a leave releasing capacity can precede a join reusing it).
+	Events []Event
+}
+
+// LinkIndex returns the index of the named link, or -1.
+func (t *Topology) LinkIndex(name string) int {
+	for i := range t.Links {
+		if t.Links[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FlowIndex returns the index of the named flow, or -1.
+func (t *Topology) FlowIndex(name string) int {
+	for i := range t.Flows {
+		if t.Flows[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Specs returns the declared profiles of all flows, in ID order — the
+// global flow population every link's buffer manager is built for.
+func (t *Topology) Specs() []packet.FlowSpec {
+	specs := make([]packet.FlowSpec, len(t.Flows))
+	for i, f := range t.Flows {
+		specs[i] = f.Spec
+	}
+	return specs
+}
+
+// JoinTime returns when flow id joins: its join event's time, or 0 when
+// the timeline has none (flows join at the start by default). The
+// second result is false when the flow never joins (a leave without a
+// join is rejected by Validate, so this means "no events at all").
+func (t *Topology) JoinTime(id int) (float64, bool) {
+	for _, ev := range t.Events {
+		if ev.Kind == EventJoin && ev.flow == id {
+			return ev.At, true
+		}
+	}
+	return 0, false
+}
+
+// schemeConfig assembles the scheme.Config for one link: the global
+// flow population plus the link's physical parameters. seed
+// differentiates randomized managers (RED) per link.
+func (l *Link) schemeConfig(specs []packet.FlowSpec, seed int64) scheme.Config {
+	return scheme.Config{
+		Specs:    specs,
+		LinkRate: l.Rate,
+		Buffer:   l.Buffer,
+		Headroom: l.Headroom,
+		QueueOf:  l.Queues,
+		Seed:     seed,
+	}
+}
+
+// Validate checks the whole scenario: link physics, scheme specs (each
+// is trial-built against the full flow population), flow contracts,
+// route resolution, and timeline consistency. It fills the resolved
+// Route and event indices, sorts Events by time (stable), and applies
+// defaults (link names, source parameters). A Topology must be
+// validated before Run.
+func (t *Topology) Validate() error {
+	if len(t.Links) == 0 {
+		return fmt.Errorf("topology %s: no links", t.Name)
+	}
+	if len(t.Flows) == 0 {
+		return fmt.Errorf("topology %s: no flows", t.Name)
+	}
+	byEdge := map[string]int{}
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.From == "" || l.To == "" {
+			return fmt.Errorf("link %d: missing from/to node", i)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("link %d: self-loop at node %s", i, l.From)
+		}
+		if l.Name == "" {
+			l.Name = l.From + "->" + l.To
+		}
+		if l.Rate <= 0 {
+			return fmt.Errorf("link %s: non-positive rate %v", l.Name, l.Rate)
+		}
+		if l.Buffer <= 0 {
+			return fmt.Errorf("link %s: non-positive buffer %v", l.Name, l.Buffer)
+		}
+		if l.Headroom < 0 || l.Headroom >= l.Buffer {
+			return fmt.Errorf("link %s: headroom %v outside [0, buffer %v)", l.Name, l.Headroom, l.Buffer)
+		}
+		if l.PropDelay < 0 {
+			return fmt.Errorf("link %s: negative propagation delay %v", l.Name, l.PropDelay)
+		}
+		if l.Spec == "" {
+			l.Spec = "fifo+threshold"
+		}
+		sc, err := scheme.Parse(l.Spec)
+		if err != nil {
+			return fmt.Errorf("link %s: %w", l.Name, err)
+		}
+		l.scheme = sc
+		edge := l.From + "->" + l.To
+		if j, dup := byEdge[edge]; dup {
+			return fmt.Errorf("links %s and %s duplicate edge %s", t.Links[j].Name, l.Name, edge)
+		}
+		byEdge[edge] = i
+	}
+	for i := range t.Links {
+		if j := t.LinkIndex(t.Links[i].Name); j != i {
+			return fmt.Errorf("duplicate link name %s", t.Links[i].Name)
+		}
+	}
+
+	for i := range t.Flows {
+		f := &t.Flows[i]
+		f.ID = i
+		if f.Name == "" {
+			f.Name = fmt.Sprintf("flow%d", i)
+		}
+		if j := t.FlowIndex(f.Name); j != i {
+			return fmt.Errorf("duplicate flow name %s", f.Name)
+		}
+		if err := f.Spec.Validate(); err != nil {
+			return fmt.Errorf("flow %s: %w", f.Name, err)
+		}
+		if f.PacketSize == 0 {
+			f.PacketSize = scheme.DefaultPacketSize
+		}
+		if f.PacketSize <= 0 {
+			return fmt.Errorf("flow %s: non-positive packet size %v", f.Name, f.PacketSize)
+		}
+		if f.AvgRate == 0 {
+			f.AvgRate = f.Spec.TokenRate
+		}
+		if f.MeanBurst == 0 {
+			f.MeanBurst = f.Spec.BucketSize
+		}
+		switch f.Source {
+		case "":
+			f.Source = SourceOnOff
+		case SourceOnOff, SourceGreedy, SourceCBR:
+		default:
+			return fmt.Errorf("flow %s: unknown source kind %q (want onoff, greedy, or cbr)", f.Name, f.Source)
+		}
+		if f.Source == SourceGreedy && !f.Shaped {
+			return fmt.Errorf("flow %s: a greedy source must be shaped (it saturates its leaky bucket)", f.Name)
+		}
+		if f.Source == SourceOnOff {
+			// NewOnOff panics on bad parameters; surface them as load
+			// errors instead.
+			switch {
+			case f.Spec.PeakRate <= 0:
+				return fmt.Errorf("flow %s: on-off source needs a positive peak rate", f.Name)
+			case f.AvgRate <= 0 || f.AvgRate > f.Spec.PeakRate:
+				return fmt.Errorf("flow %s: average rate %v outside (0, peak %v]", f.Name, f.AvgRate, f.Spec.PeakRate)
+			case f.MeanBurst < f.PacketSize:
+				return fmt.Errorf("flow %s: mean burst %v below packet size %v", f.Name, f.MeanBurst, f.PacketSize)
+			}
+		}
+		if f.Shaped && f.Spec.BucketSize < f.PacketSize {
+			return fmt.Errorf("flow %s: bucket %v below packet size %v, shaper would wedge", f.Name, f.Spec.BucketSize, f.PacketSize)
+		}
+		if len(f.RouteNodes) < 2 {
+			return fmt.Errorf("flow %s: route needs at least two nodes, got %v", f.Name, f.RouteNodes)
+		}
+		f.Route = f.Route[:0]
+		for h := 0; h+1 < len(f.RouteNodes); h++ {
+			edge := f.RouteNodes[h] + "->" + f.RouteNodes[h+1]
+			li, ok := byEdge[edge]
+			if !ok {
+				return fmt.Errorf("flow %s: no link %s on its route (nodes %s)",
+					f.Name, edge, strings.Join(f.RouteNodes, " "))
+			}
+			f.Route = append(f.Route, li)
+		}
+	}
+
+	// Trial-build every link's scheme against the full flow population
+	// so spec/population mismatches (hybrid queue maps, bad thresholds)
+	// fail at load time, not mid-run.
+	specs := t.Specs()
+	for i := range t.Links {
+		l := &t.Links[i]
+		if l.Queues != nil && len(l.Queues) != len(t.Flows) {
+			return fmt.Errorf("link %s: queue map covers %d flows, topology has %d", l.Name, len(l.Queues), len(t.Flows))
+		}
+		cfg := l.schemeConfig(specs, 0)
+		cfg.Now = func() float64 { return 0 } // placeholder clock; the trial build is discarded
+		if _, _, err := l.scheme.Build(cfg); err != nil {
+			return fmt.Errorf("link %s: %w", l.Name, err)
+		}
+	}
+
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.At < 0 {
+			return fmt.Errorf("event %d: negative time %v", i, ev.At)
+		}
+		switch ev.Kind {
+		case EventJoin, EventLeave:
+			ev.flow = t.FlowIndex(ev.Flow)
+			if ev.flow < 0 {
+				return fmt.Errorf("event %d: unknown flow %q", i, ev.Flow)
+			}
+		case EventRate, EventFail, EventRecover:
+			ev.link = t.LinkIndex(ev.Link)
+			if ev.link < 0 {
+				return fmt.Errorf("event %d: unknown link %q", i, ev.Link)
+			}
+			if ev.Kind == EventRate && ev.Rate <= 0 {
+				return fmt.Errorf("event %d: non-positive rate %v for link %s", i, ev.Rate, ev.Link)
+			}
+		default:
+			return fmt.Errorf("event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].At < t.Events[j].At })
+	// A flow with no join event joins implicitly at t=0.
+	joined := make([]bool, len(t.Flows))
+	for i := range joined {
+		if _, has := t.JoinTime(i); !has {
+			joined[i] = true
+		}
+	}
+	hasJoin := make([]bool, len(t.Flows))
+	left := make([]bool, len(t.Flows))
+	for i, ev := range t.Events {
+		switch ev.Kind {
+		case EventJoin:
+			if hasJoin[ev.flow] {
+				return fmt.Errorf("event %d: flow %s joins twice", i, ev.Flow)
+			}
+			hasJoin[ev.flow] = true
+			joined[ev.flow] = true
+		case EventLeave:
+			if !joined[ev.flow] {
+				return fmt.Errorf("event %d: flow %s leaves at t=%v before its join", i, ev.Flow, ev.At)
+			}
+			if left[ev.flow] {
+				return fmt.Errorf("event %d: flow %s leaves twice", i, ev.Flow)
+			}
+			left[ev.flow] = true
+		}
+	}
+	return nil
+}

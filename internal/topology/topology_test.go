@@ -1,0 +1,414 @@
+package topology
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bufqos/internal/core"
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// twoHop builds a minimal validated two-hop scenario used across tests:
+// flows [0] conformant greedy and [1] aggressive on-off, both routed
+// a -> b -> c.
+func twoHop(t *testing.T) *Topology {
+	t.Helper()
+	topo := &Topology{
+		Name: "twohop",
+		Links: []Link{
+			{From: "a", To: "b", Rate: units.MbitsPerSecond(48), Buffer: units.MegaBytes(2), Spec: "fifo+threshold"},
+			{From: "b", To: "c", Rate: units.MbitsPerSecond(48), Buffer: units.MegaBytes(1), Spec: "wfq+sharing", Headroom: units.KiloBytes(200)},
+		},
+		Flows: []Flow{
+			{
+				Name: "conf",
+				Spec: packet.FlowSpec{
+					PeakRate: units.MbitsPerSecond(16), TokenRate: units.MbitsPerSecond(4),
+					BucketSize: units.KiloBytes(50),
+				},
+				RouteNodes: []string{"a", "b", "c"},
+				Source:     SourceGreedy,
+				Shaped:     true,
+			},
+			{
+				Name: "agg",
+				Spec: packet.FlowSpec{
+					PeakRate: units.MbitsPerSecond(40), TokenRate: units.MbitsPerSecond(2),
+					BucketSize: units.KiloBytes(50),
+				},
+				RouteNodes: []string{"a", "b", "c"},
+				AvgRate:    units.MbitsPerSecond(10),
+				MeanBurst:  units.KiloBytes(250),
+			},
+		},
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestValidateResolvesRoutesAndDefaults(t *testing.T) {
+	topo := twoHop(t)
+	if topo.Links[0].Name != "a->b" || topo.Links[1].Name != "b->c" {
+		t.Errorf("default link names wrong: %q %q", topo.Links[0].Name, topo.Links[1].Name)
+	}
+	if !reflect.DeepEqual(topo.Flows[0].Route, []int{0, 1}) {
+		t.Errorf("route resolved to %v, want [0 1]", topo.Flows[0].Route)
+	}
+	f := &topo.Flows[1]
+	if f.Source != SourceOnOff || f.PacketSize != 500 {
+		t.Errorf("defaults not applied: source=%q pkt=%v", f.Source, f.PacketSize)
+	}
+	if topo.Flows[0].AvgRate != topo.Flows[0].Spec.TokenRate {
+		t.Errorf("AvgRate default = %v, want ρ", topo.Flows[0].AvgRate)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *Topology {
+		return &Topology{
+			Name:  "bad",
+			Links: []Link{{From: "a", To: "b", Rate: units.MbitsPerSecond(48), Buffer: units.MegaBytes(1)}},
+			Flows: []Flow{{
+				Name:       "f",
+				Spec:       packet.FlowSpec{TokenRate: units.MbitsPerSecond(2), BucketSize: units.KiloBytes(50)},
+				RouteNodes: []string{"a", "b"},
+				Source:     SourceCBR,
+			}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Topology)
+		want   string
+	}{
+		{"unknown scheme", func(t *Topology) { t.Links[0].Spec = "bogus+none" }, "bogus"},
+		{"negative prop", func(t *Topology) { t.Links[0].PropDelay = -1 }, "propagation"},
+		{"zero rate", func(t *Topology) { t.Links[0].Rate = 0 }, "rate"},
+		{"self loop", func(t *Topology) { t.Links[0].To = "a" }, "self-loop"},
+		{"headroom too big", func(t *Topology) { t.Links[0].Headroom = units.MegaBytes(2) }, "headroom"},
+		{"unroutable", func(t *Topology) { t.Flows[0].RouteNodes = []string{"a", "z"} }, "no link a->z"},
+		{"short route", func(t *Topology) { t.Flows[0].RouteNodes = []string{"a"} }, "two nodes"},
+		{"bad flow spec", func(t *Topology) { t.Flows[0].Spec.TokenRate = -1 }, "token rate"},
+		{"greedy unshaped", func(t *Topology) { t.Flows[0].Source = SourceGreedy }, "shaped"},
+		{"bad source kind", func(t *Topology) { t.Flows[0].Source = "warp" }, "source kind"},
+		{"onoff without peak", func(t *Topology) { t.Flows[0].Source = SourceOnOff }, "peak"},
+		{"unknown event flow", func(t *Topology) {
+			t.Events = []Event{{At: 1, Kind: EventJoin, Flow: "ghost"}}
+		}, "unknown flow"},
+		{"unknown event link", func(t *Topology) {
+			t.Events = []Event{{At: 1, Kind: EventFail, Link: "ghost"}}
+		}, "unknown link"},
+		{"leave before join", func(t *Topology) {
+			t.Events = []Event{
+				{At: 1, Kind: EventLeave, Flow: "f"},
+				{At: 2, Kind: EventJoin, Flow: "f"},
+			}
+		}, "before its join"},
+		{"double join", func(t *Topology) {
+			t.Events = []Event{
+				{At: 1, Kind: EventJoin, Flow: "f"},
+				{At: 2, Kind: EventJoin, Flow: "f"},
+			}
+		}, "joins twice"},
+		{"bad rate event", func(t *Topology) {
+			t.Events = []Event{{At: 1, Kind: EventRate, Link: "a->b", Rate: 0}}
+		}, "non-positive rate"},
+		{"hybrid without queues", func(t *Topology) { t.Links[0].Spec = "hybrid+sharing" }, "hybrid"},
+	}
+	for _, tc := range cases {
+		topo := base()
+		tc.mutate(topo)
+		err := topo.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"name":"x","links":[{"from":"a","to":"b","rate_mbsp":48}]}`))
+	if err == nil || !strings.Contains(err.Error(), "rate_mbsp") {
+		t.Errorf("typo field not rejected: %v", err)
+	}
+}
+
+func TestRunAdmitsAndDelivers(t *testing.T) {
+	topo := twoHop(t)
+	res, err := Run(context.Background(), topo, Options{Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, fr := range res.Flows {
+		if !fr.Admitted {
+			t.Fatalf("flow %d not admitted", fi)
+		}
+		if fr.Delivered.Packets == 0 || fr.Offered.Packets == 0 {
+			t.Errorf("flow %d carried nothing: %+v", fi, fr)
+		}
+	}
+	if len(res.Rejections) != 0 {
+		t.Errorf("unexpected rejections: %+v", res.Rejections)
+	}
+	// The conformant greedy flow must hold its reservation end-to-end.
+	for _, a := range Verify(topo, &res) {
+		if a.Failed() {
+			t.Errorf("%s (%s): %v", a.Name, a.Detail, a.Err)
+		}
+	}
+	// Per-link forwarding diagnostics reach the result.
+	if fwd := res.Links[0].Flows[0].Forwarded; fwd == 0 {
+		t.Error("first hop forwarded nothing for flow 0")
+	}
+}
+
+func TestAdmissionRejectionPerLinkReason(t *testing.T) {
+	topo := twoHop(t)
+	// A flow over-subscribing bandwidth on the (narrower) second link
+	// only: ρ = 45 fits nothing alongside the existing 6 Mb/s.
+	topo.Flows = append(topo.Flows, Flow{
+		Name: "hog",
+		Spec: packet.FlowSpec{
+			PeakRate: units.MbitsPerSecond(45), TokenRate: units.MbitsPerSecond(45),
+			BucketSize: units.KiloBytes(10),
+		},
+		RouteNodes: []string{"b", "c"},
+		Source:     SourceCBR,
+	})
+	topo.Events = []Event{{At: 1, Kind: EventJoin, Flow: "hog"}}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), topo, Options{Duration: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[2].Admitted {
+		t.Fatal("45 Mb/s flow admitted on a 48 Mb/s link already carrying 6 Mb/s")
+	}
+	if len(res.Rejections) != 1 {
+		t.Fatalf("rejections = %+v, want exactly one", res.Rejections)
+	}
+	rej := res.Rejections[0]
+	if rej.Link != "b->c" || rej.Reason != core.BandwidthLimited || rej.Flow != "hog" || rej.At != 1 {
+		t.Errorf("rejection = %+v, want hog at b->c, bandwidth-limited, t=1", rej)
+	}
+	if res.Flows[2].Delivered.Packets != 0 || res.Flows[2].Offered.Packets != 0 {
+		t.Errorf("rejected flow carried traffic: %+v", res.Flows[2])
+	}
+
+	// A σ over-subscription on the WFQ hop is buffer-limited (eq. 6).
+	topo2 := twoHop(t)
+	topo2.Flows = append(topo2.Flows, Flow{
+		Name: "burster",
+		Spec: packet.FlowSpec{
+			TokenRate:  units.MbitsPerSecond(1),
+			BucketSize: units.MegaBytes(2), // > the 1 MB buffer of b->c
+		},
+		RouteNodes: []string{"b", "c"},
+		Source:     SourceCBR,
+	})
+	if err := topo2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(context.Background(), topo2, Options{Duration: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rejections) != 1 || res2.Rejections[0].Reason != core.BufferLimited {
+		t.Errorf("rejections = %+v, want one buffer-limited", res2.Rejections)
+	}
+}
+
+func TestLeaveReleasesCapacity(t *testing.T) {
+	topo := twoHop(t)
+	// tenant reserves 30 Mb/s on a->b from the start and leaves at t=2;
+	// successor needs that capacity and joins at t=3 (together they
+	// would over-subscribe the 48 Mb/s link).
+	big := packet.FlowSpec{
+		PeakRate: units.MbitsPerSecond(40), TokenRate: units.MbitsPerSecond(30),
+		BucketSize: units.KiloBytes(50),
+	}
+	topo.Flows = append(topo.Flows,
+		Flow{
+			Name: "tenant", Spec: big,
+			RouteNodes: []string{"a", "b"},
+			Source:     SourceCBR,
+			AvgRate:    units.MbitsPerSecond(10),
+		},
+		Flow{
+			Name: "successor", Spec: big,
+			RouteNodes: []string{"a", "b"},
+			Source:     SourceCBR,
+			AvgRate:    units.MbitsPerSecond(10),
+		},
+	)
+	topo.Events = []Event{
+		{At: 2, Kind: EventLeave, Flow: "tenant"},
+		{At: 3, Kind: EventJoin, Flow: "successor"},
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), topo, Options{Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant := res.Flows[2]
+	if !tenant.Admitted || !tenant.Left || tenant.LeaveAt != 2 {
+		t.Errorf("tenant = %+v, want admitted and left at t=2", tenant)
+	}
+	if !res.Flows[3].Admitted {
+		t.Errorf("successor not admitted after tenant left: %+v", res.Rejections)
+	}
+	// Without the leave, the successor must be rejected.
+	topo.Events = []Event{{At: 3, Kind: EventJoin, Flow: "successor"}}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(context.Background(), topo, Options{Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Flows[3].Admitted {
+		t.Error("successor admitted alongside tenant: Σρ = 66 Mb/s on a 48 Mb/s link")
+	}
+}
+
+func TestLinkFailurePartialPathStats(t *testing.T) {
+	topo := twoHop(t)
+	topo.Events = []Event{
+		{At: 1, Kind: EventFail, Link: "b->c"},
+		{At: 4, Kind: EventRecover, Link: "b->c"},
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), topo, Options{Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, fr := range res.Flows {
+		if !fr.Degraded {
+			t.Errorf("flow %d crosses the failed link but is not degraded", fi)
+		}
+		if fr.Delivered.Packets == 0 {
+			t.Errorf("flow %d delivered nothing despite recovery", fi)
+		}
+	}
+	// The failed hop kept counting: its drops grew while it was down.
+	if res.Links[1].DroppedPackets() == 0 {
+		t.Error("3s outage on a loaded link dropped nothing")
+	}
+	// Degraded flows are exempt from the guarantees.
+	for _, a := range Verify(topo, &res) {
+		if a.Failed() {
+			t.Errorf("degraded run should produce no failures: %s: %v", a.Name, a.Err)
+		}
+		if a.Name == "zero-conformant-loss" || a.Name == "reserved-throughput" {
+			t.Errorf("strict guarantee %s asserted for a degraded flow", a.Name)
+		}
+	}
+}
+
+func TestVerifyFlagsConformantLoss(t *testing.T) {
+	// No buffer management on a slow first hop: the aggressive flow's
+	// 40 Mb/s bursts overload the 24 Mb/s link, tail-drop hits the
+	// conformant flow too, and Verify must catch it. The declared
+	// profiles (Σρ = 6 Mb/s, Σσ = 100 KB) still pass admission —
+	// exactly the paper's Figure 2 failure mode.
+	topo := twoHop(t)
+	topo.Links[0].Spec = "fifo+none"
+	topo.Links[0].Rate = units.MbitsPerSecond(24)
+	topo.Links[0].Buffer = units.KiloBytes(150)
+	topo.Flows[1].AvgRate = units.MbitsPerSecond(20)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), topo, Options{Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, a := range Verify(topo, &res) {
+		if a.Failed() {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("tail-drop with a 30 KB buffer under 30 Mb/s aggression produced no violation")
+	}
+}
+
+func TestRunManyDeterministicAcrossWorkers(t *testing.T) {
+	topo := twoHop(t)
+	topo.Events = []Event{
+		{At: 2, Kind: EventRate, Link: "a->b", Rate: units.MbitsPerSecond(40)},
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const runs = 6
+	opts := Options{Duration: 3, Seed: 7}
+	want, err := RunMany(context.Background(), topo, opts, runs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < runs; r++ {
+		if want[r].Seed != 7+int64(r) {
+			t.Errorf("run %d seed = %d, want %d", r, want[r].Seed, 7+r)
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := RunMany(context.Background(), topo, opts, runs, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from sequential results", workers)
+		}
+	}
+}
+
+func TestTablesAndCSV(t *testing.T) {
+	topo := twoHop(t)
+	results, err := RunMany(context.Background(), topo, Options{Duration: 2, Seed: 3}, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFlowTable(&sb, topo, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLinkTable(&sb, topo, results); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"conf", "agg", "a->b", "b->c", "fifo+threshold", "wfq+sharing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := WriteFlowCSV(&sb, topo, results); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(sb.String()), "\n"); lines != 3*2 {
+		t.Errorf("flow CSV has %d data rows, want 6", lines)
+	}
+	sb.Reset()
+	if err := WriteLinkCSV(&sb, topo, results); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(sb.String()), "\n"); lines != 3*2*2 {
+		t.Errorf("link CSV has %d data rows, want 12", lines)
+	}
+}

@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"fmt"
+
+	"bufqos/internal/report"
+	"bufqos/internal/units"
+)
+
+// Verify checks the paper's composed guarantees against one finished
+// run and returns one assertion per guarantee:
+//
+//   - zero conformant loss: an admitted shaped flow loses no conformant
+//     packet at any link of its route (Prop. 2 per hop; admission kept
+//     every hop inside its schedulability region).
+//   - conservation: the flow delivers at least what it offered minus a
+//     burst-and-storage allowance — one bucket σ plus, per hop, the
+//     buffer that may still hold its bytes and the bits in flight on
+//     the wire.
+//   - reserved throughput: a sustained conformant flow (greedy, or CBR
+//     at ≥ ρ) delivers its reserved rate ρ over its active window, up
+//     to the same allowance.
+//
+// Flows whose route crosses a failed or rate-cut link are Degraded:
+// the admission decision assumed the declared capacity, so their
+// guarantees are void for the run and only a no-panic sanity assertion
+// is emitted. Rejected flows assert that they carried no traffic.
+func Verify(t *Topology, res *Result) []report.Assertion {
+	var as []report.Assertion
+	for fi := range t.Flows {
+		f := &t.Flows[fi]
+		fr := &res.Flows[fi]
+		if !fr.Admitted {
+			var err error
+			if fr.Delivered.Packets != 0 || fr.Offered.Packets != 0 {
+				err = fmt.Errorf("rejected flow carried traffic: offered %d, delivered %d packets",
+					fr.Offered.Packets, fr.Delivered.Packets)
+			}
+			as = append(as, report.Assertion{
+				Name:   "rejected-flow-idle",
+				Detail: fmt.Sprintf("flow %s", f.Name),
+				Err:    err,
+			})
+			continue
+		}
+		if fr.Degraded {
+			as = append(as, report.Assertion{
+				Name:   "degraded-flow-measured",
+				Detail: fmt.Sprintf("flow %s (route crosses a failed or rate-cut link; guarantees void)", f.Name),
+			})
+			continue
+		}
+		if !f.Shaped {
+			continue // no conformance contract to verify
+		}
+		for _, li := range f.Route {
+			lf := &res.Links[li].Flows[fi]
+			var err error
+			if lf.ConformantDropped.Packets != 0 {
+				err = fmt.Errorf("dropped %d conformant packets (%v)",
+					lf.ConformantDropped.Packets, lf.ConformantDropped.Bytes)
+			}
+			as = append(as, report.Assertion{
+				Name:   "zero-conformant-loss",
+				Detail: fmt.Sprintf("flow %s at link %s", f.Name, res.Links[li].Name),
+				Err:    err,
+			})
+		}
+		allow := allowance(t, f)
+		as = append(as, report.Assertion{
+			Name:   "conservation",
+			Detail: fmt.Sprintf("flow %s: delivered ≥ offered − %v", f.Name, allow),
+			Err: check(fr.Delivered.Bytes >= fr.Offered.Bytes-allow,
+				"delivered %v of %v offered (allowance %v)", fr.Delivered.Bytes, fr.Offered.Bytes, allow),
+		})
+		if sustained(f) && !fr.Left {
+			active := fr.LeaveAt - fr.JoinAt
+			want := units.BytesAtRate(f.Spec.TokenRate, active) - allow
+			as = append(as, report.Assertion{
+				Name:   "reserved-throughput",
+				Detail: fmt.Sprintf("flow %s: ≥ ρ = %v over %.3gs", f.Name, f.Spec.TokenRate, active),
+				Err: check(fr.Delivered.Bytes >= want,
+					"delivered %v (%v), want ≥ %v", fr.Delivered.Bytes, fr.Throughput, want),
+			})
+		}
+	}
+	return as
+}
+
+// VerifyMany verifies every run, prefixing details with the run's seed
+// when there is more than one.
+func VerifyMany(t *Topology, results []Result) []report.Assertion {
+	if len(results) == 1 {
+		return Verify(t, &results[0])
+	}
+	var as []report.Assertion
+	for i := range results {
+		for _, a := range Verify(t, &results[i]) {
+			a.Detail = fmt.Sprintf("seed %d: %s", results[i].Seed, a.Detail)
+			as = append(as, a)
+		}
+	}
+	return as
+}
+
+// allowance bounds how many of a conformant flow's offered bytes may
+// legitimately be missing from delivery at the horizon: the bucket σ,
+// plus per hop the buffer that may still store its packets and the
+// bytes in flight on the propagation wire, plus one packet per hop in
+// transmission.
+func allowance(t *Topology, f *Flow) units.Bytes {
+	a := f.Spec.BucketSize
+	for _, li := range f.Route {
+		l := &t.Links[li]
+		a += l.Buffer + units.BytesAtRate(l.Rate, l.PropDelay) + f.PacketSize
+	}
+	return a
+}
+
+// sustained reports whether the flow's source keeps its leaky bucket
+// busy for the whole run, making delivered-rate ≥ ρ a sound check.
+func sustained(f *Flow) bool {
+	switch f.Source {
+	case SourceGreedy:
+		return true
+	case SourceCBR:
+		return f.AvgRate >= f.Spec.TokenRate
+	default:
+		return false
+	}
+}
+
+// check returns nil when ok, else the formatted violation.
+func check(ok bool, format string, args ...any) error {
+	if ok {
+		return nil
+	}
+	return fmt.Errorf(format, args...)
+}
