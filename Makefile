@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race lint bench bench-smoke topo-smoke
+.PHONY: verify build vet test race lint bench bench-smoke topo-smoke fuzz-smoke fuzz-nightly docs-check
 
 verify: build vet test race
 
@@ -46,3 +46,28 @@ topo-smoke:
 		echo "== $$f"; \
 		go run ./cmd/qnet -topology $$f -duration 5 -runs 2 -check; \
 	done
+
+# Bounded property-fuzzing campaign: 50 seeded scenarios, 2 s horizon,
+# every invariant oracle. Fails (and writes shrunk reproducers to
+# testdata/repros/) on any violation. CI runs this on every push; the
+# scheduled nightly workflow runs fuzz-nightly instead.
+fuzz-smoke:
+	go run ./cmd/qfuzz -n 50 -duration 2s -seed 1 -out testdata/repros
+
+# The long campaign for the nightly schedule: more cases and a second
+# sweep with deliberately weakened thresholds that MUST fail (the
+# necessity direction of Proposition 1): its reproducers land in a
+# throwaway directory and the expected non-zero exit is inverted.
+fuzz-nightly:
+	go run ./cmd/qfuzz -n 500 -duration 2s -seed 1 -out testdata/repros
+	@echo "== broken-threshold sweep (must fail)"; \
+	if go run ./cmd/qfuzz -n 10 -duration 2s -seed 1 -threshold-scale 0.9 \
+		-out /tmp/bufqos-broken-repros >/dev/null; then \
+		echo "qfuzz -threshold-scale 0.9 did not fail: necessity lost"; exit 1; \
+	else echo "weakened thresholds correctly caught"; fi
+
+# Documentation drift gate: the README scheme catalogue and CLI table
+# and the EXPERIMENTS.md oracle catalogue are pinned to the code by
+# tests; this target runs exactly those.
+docs-check:
+	go test -run 'TestReadmeSchemeCatalogue|TestReadmeCLITable|TestExperimentsOracleCatalogue' .

@@ -1,0 +1,62 @@
+package bufqos_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestReadmeCLITable pins the README's command-line table to the cmd/
+// tree: every command directory must have a row between the cli-table
+// markers, and every row must name an existing command — so adding,
+// renaming, or deleting a CLI without updating the docs fails the
+// build.
+func TestReadmeCLITable(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		beginTag = "<!-- cli-table:begin"
+		endTag   = "<!-- cli-table:end -->"
+	)
+	s := string(readme)
+	begin := strings.Index(s, beginTag)
+	end := strings.Index(s, endTag)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("README.md lacks the cli-table markers (%q ... %q)", beginTag, endTag)
+	}
+	table := s[begin:end]
+
+	ents, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmds []string
+	for _, e := range ents {
+		if e.IsDir() {
+			cmds = append(cmds, e.Name())
+		}
+	}
+	if len(cmds) == 0 {
+		t.Fatal("no command directories under cmd/")
+	}
+
+	// Each command appears as a `cmd/<name>` row cell.
+	for _, c := range cmds {
+		cell := fmt.Sprintf("| `cmd/%s` |", c)
+		if !strings.Contains(table, cell) {
+			t.Errorf("README CLI table lacks a row for cmd/%s (expected a cell %q)", c, cell)
+		}
+	}
+
+	// And each table row names a real command.
+	rowRe := regexp.MustCompile("\\| `cmd/([a-z0-9_]+)` \\|")
+	for _, m := range rowRe.FindAllStringSubmatch(table, -1) {
+		if _, err := os.Stat("cmd/" + m[1] + "/main.go"); err != nil {
+			t.Errorf("README CLI table row for cmd/%s does not match a command: %v", m[1], err)
+		}
+	}
+}

@@ -4,7 +4,8 @@
 // per-packet buffer management, the buffer-sharing extension, and the
 // hybrid k-queue architecture.
 //
-// The implementation lives under internal/:
+// The implementation lives under internal/ (see ARCHITECTURE.md for
+// the full map and data flow):
 //
 //   - internal/core      — thresholds, admission regions, hybrid allocation
 //   - internal/buffer    — tail-drop, fixed thresholds, sharing, DT, RED
@@ -12,9 +13,14 @@
 //   - internal/scheme    — the scheme registry: spec strings → (manager,
 //     scheduler) builders shared by experiments, the network, and CLIs
 //   - internal/source    — ON-OFF sources, leaky-bucket shaper, meter
-//   - internal/fluid     — fluid-model verification of Propositions 1-2
-//   - internal/experiment — Table 1/2 workloads and Figures 1-13 runners
+//   - internal/fluid     — fluid-model verification of Propositions 1–2
+//   - internal/topology  — declarative multi-hop scenarios: links, routed
+//     flows, event timelines, per-hop admission and verification
+//   - internal/validate  — property-based fuzzing: seeded scenario
+//     generation, invariant oracles, failure shrinking
+//   - internal/experiment — Table 1/2 workloads and Figures 1–13 runners
 //   - internal/metrics   — allocation-conscious counters/gauges/histograms
+//   - internal/report    — assertions and figure/table rendering
 //   - internal/sim, units, packet, stats, trace — substrate
 //
 // The experiment package is driven through a single Options struct built
@@ -30,12 +36,15 @@
 // partial figure. Schemes are selected by registry spec strings —
 // experiment.WithSchemeSpec("wfq+sharing"),
 // WithSchemeSpec("hybrid:3+sharing"), or a parameterized variant like
-// "fifo+red?min=0.2,max=0.8" — and the deprecated Scheme enum plus the
-// Config/RunOpts shims keep pre-Options callers compiling (each enum
-// value maps onto its registry entry, producing identical runs).
+// "fifo+red?min=0.2,max=0.8". (The deprecated Scheme enum and the
+// pre-Options Config/RunOpts shims in internal/experiment/legacy.go
+// still compile but should not appear in new code.)
 //
-// Executables: cmd/qsim (regenerate every figure; -metrics, -pprof and
-// -progress expose run telemetry), cmd/qosplan (closed-form analysis).
+// Executables: cmd/qsim (regenerate every figure), cmd/qtrace
+// (per-packet event traces), cmd/qcheck (single-link invariant
+// checks), cmd/qnet (declarative multi-hop scenarios), cmd/qfuzz
+// (property-based invariant fuzzing), cmd/qosplan (closed-form
+// analysis); the README's CLI table summarizes flags and use cases.
 // Runnable walkthroughs are in examples/. The benchmarks in
 // bench_test.go regenerate each table and figure at reduced scale; see
 // EXPERIMENTS.md for paper-vs-measured results.

@@ -1,0 +1,114 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"bufqos/internal/core"
+	"bufqos/internal/packet"
+	"bufqos/internal/units"
+)
+
+// TestExample1ConvergenceParamSets re-runs the §2.1 Example 1 recursion
+//
+//	l_{k+1} = (ρ₁/R)·l_k + B₂/R
+//
+// for three different (ρ₁, R, B) operating points, including a
+// near-capacity one, and checks (a) the fixed point satisfies the
+// recursion exactly, and (b) the error |l_k − l∞| contracts by exactly
+// ρ₁/R per interval — the recursion is affine, so convergence is
+// geometric with that ratio from any start.
+func TestExample1ConvergenceParamSets(t *testing.T) {
+	cases := []struct {
+		name string
+		rho1 units.Rate
+		r    units.Rate
+		b    units.Bytes
+		n    int
+	}{
+		{"light-load", units.MbitsPerSecond(2), units.MbitsPerSecond(10), units.KiloBytes(50), 40},
+		{"half-load", units.MbitsPerSecond(45), units.MbitsPerSecond(90), units.KiloBytes(200), 60},
+		{"near-capacity", units.MbitsPerSecond(30), units.MbitsPerSecond(32), units.KiloBytes(1000), 120},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewExample1(tc.rho1, tc.r, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ivs := e.Intervals(tc.n)
+			lInf, r1Inf, r2Inf := e.Limits()
+			ratio := tc.rho1.BitsPerSecond() / tc.r.BitsPerSecond()
+
+			// Fixed point: l∞ = (ρ₁/R)·l∞ + B₂/R.
+			if got := ratio*lInf + e.B2.Bits()/tc.r.BitsPerSecond(); math.Abs(got-lInf)/lInf > 1e-12 {
+				t.Fatalf("l∞ = %v is not a fixed point (maps to %v)", lInf, got)
+			}
+			// Exact geometric contraction of the error term.
+			gap := math.Abs(ivs[0].L - lInf)
+			for k := 1; k < len(ivs); k++ {
+				want := gap * math.Pow(ratio, float64(k))
+				got := math.Abs(ivs[k].L - lInf)
+				if math.Abs(got-want) > 1e-9*lInf {
+					t.Fatalf("interval %d: |l−l∞| = %g, want geometric %g", k+1, got, want)
+				}
+			}
+			// The tail has converged for these n (ratio^(n−1) ≪ 1).
+			last := ivs[len(ivs)-1]
+			if math.Abs(last.L-lInf)/lInf > 1e-3 {
+				t.Errorf("l after %d intervals = %v, limit %v", tc.n, last.L, lInf)
+			}
+			if math.Abs(last.R1.BitsPerSecond()-r1Inf.BitsPerSecond()) > 1e-3*r1Inf.BitsPerSecond() {
+				t.Errorf("R¹ → %v, want ρ₁ = %v", last.R1, r1Inf)
+			}
+			if math.Abs(last.R2.BitsPerSecond()-r2Inf.BitsPerSecond()) > 1e-3*r2Inf.BitsPerSecond() {
+				t.Errorf("R² → %v, want R−ρ₁ = %v", last.R2, r2Inf)
+			}
+		})
+	}
+}
+
+// TestRequiredBufferDivergesNearCapacity checks the utilization blowup
+// of equations (9)–(10): the minimal lossless FIFO buffer
+// B = R·Σσ/(R−Σρ) = Σσ/(1−u) inflates by 1/(1−u), so stepping u toward
+// 1 multiplies the requirement without bound, and u ≥ 1 is infeasible
+// outright. (Example 1's own l∞ = B₂/(R−ρ₁) = B/R stays finite — the
+// divergence lives in the buffer sizing, not the interval length.)
+func TestRequiredBufferDivergesNearCapacity(t *testing.T) {
+	r := units.MbitsPerSecond(100)
+	sigma := units.KiloBytes(100)
+	need := func(u float64) units.Bytes {
+		spec := packet.FlowSpec{
+			PeakRate:   r,
+			TokenRate:  units.Rate(u * r.BitsPerSecond()),
+			BucketSize: sigma,
+		}
+		b, err := core.RequiredBufferFIFO([]packet.FlowSpec{spec}, r)
+		if err != nil {
+			t.Fatalf("u=%g: %v", u, err)
+		}
+		return b
+	}
+	us := []float64{0.5, 0.9, 0.99, 0.999}
+	prev := units.Bytes(0)
+	for _, u := range us {
+		b := need(u)
+		want := float64(sigma) / (1 - u)
+		if math.Abs(float64(b)-want) > 2 { // Ceil rounding
+			t.Errorf("u=%g: B = %v, want Σσ/(1−u) = %.0fB", u, b, want)
+		}
+		if b <= prev {
+			t.Errorf("u=%g: B = %v did not grow from %v", u, b, prev)
+		}
+		prev = b
+	}
+	// Each decade toward u=1 costs a decade of buffer: 1/(1−u) scaling.
+	if lo, hi := need(0.9), need(0.999); float64(hi)/float64(lo) < 99 {
+		t.Errorf("B(0.999)/B(0.9) = %.1f, want ≈ 100", float64(hi)/float64(lo))
+	}
+	// At u ≥ 1 no buffer suffices.
+	full := packet.FlowSpec{PeakRate: r, TokenRate: r, BucketSize: sigma}
+	if _, err := core.RequiredBufferFIFO([]packet.FlowSpec{full}, r); err == nil {
+		t.Error("u=1 accepted; want bandwidth-limited error")
+	}
+}

@@ -1,0 +1,32 @@
+package fluid_test
+
+import (
+	"fmt"
+
+	"bufqos/internal/fluid"
+	"bufqos/internal/units"
+)
+
+// The §2.1 Example 1 dynamics in closed form: a conformant ρ₁ = 8 Mb/s
+// flow shares a B = 120 KB FIFO with a greedy competitor on an
+// R = 48 Mb/s link. The interval lengths follow
+// l_{i+1} = (ρ₁/R)·l_i + B₂/R and converge to l∞ = B₂/(R−ρ₁), at which
+// point flow 1 is served at exactly its reserved rate.
+func ExampleExample1() {
+	e, err := fluid.NewExample1(
+		units.MbitsPerSecond(8), units.MbitsPerSecond(48), units.KiloBytes(120))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, iv := range e.Intervals(3) {
+		fmt.Printf("l_%d = %.2f ms  R1 = %v\n", iv.Index, iv.L*1e3, iv.R1)
+	}
+	lInf, r1Inf, _ := e.Limits()
+	fmt.Printf("l_inf = %.2f ms  R1 -> %v\n", lInf*1e3, r1Inf)
+	// Output:
+	// l_1 = 16.67 ms  R1 = 0b/s
+	// l_2 = 19.44 ms  R1 = 6.86Mb/s
+	// l_3 = 19.91 ms  R1 = 7.81Mb/s
+	// l_inf = 20.00 ms  R1 -> 8Mb/s
+}

@@ -1,0 +1,41 @@
+package scheme_test
+
+import (
+	"fmt"
+
+	"bufqos/internal/scheme"
+)
+
+// A spec string names a scheduler, an optional queue count, a buffer
+// manager, and optional parameters; the same grammar is accepted by
+// every CLI flag and JSON field that selects a scheme.
+func ExampleParse() {
+	s, err := scheme.Parse("hybrid:3+sharing?headroom=0.25")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	h, _ := s.Param("headroom")
+	fmt.Printf("scheduler=%s queues=%d manager=%s headroom=%g\n",
+		s.SchedulerName(), s.Queues(), s.ManagerName(), h)
+	fmt.Println(s.Spec())
+	// Output:
+	// scheduler=hybrid queues=3 manager=sharing headroom=0.25
+	// hybrid:3+sharing?headroom=0.25
+}
+
+// Bare names expand to their defaults: a lone scheduler gets tail-drop
+// (+none), a lone manager gets a FIFO in front of it.
+func ExampleParse_defaults() {
+	for _, spec := range []string{"wfq", "threshold"} {
+		s, err := scheme.Parse(spec)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s -> %s\n", spec, s.Spec())
+	}
+	// Output:
+	// wfq -> wfq+none
+	// threshold -> fifo+threshold
+}

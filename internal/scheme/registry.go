@@ -162,10 +162,22 @@ var managers = []*managerDef{
 		name: "threshold", aliases: []string{"thresholds"}, display: "thresholds",
 		doc:   "fixed per-flow thresholds σᵢ + ρᵢB/R (the paper's proposal)",
 		paper: "§2",
-		build: func(cfg Config, _ params) (buffer.Manager, error) {
+		params: []ParamDef{
+			{Name: "scale", Default: 1, Doc: "multiply every computed threshold by this factor; <1 deliberately under-allocates (necessity experiments)"},
+		},
+		build: func(cfg Config, p params) (buffer.Manager, error) {
+			scale := p.get(managerByName["threshold"].params, "scale")
+			if scale <= 0 || scale > 1 {
+				return nil, fmt.Errorf("scale %v outside (0,1]", scale)
+			}
 			th, err := thresholds(cfg)
 			if err != nil {
 				return nil, err
+			}
+			if scale != 1 {
+				for i := range th {
+					th[i] = units.Bytes(scale * float64(th[i]))
+				}
 			}
 			return buffer.NewFixedThreshold(cfg.Buffer, th), nil
 		},

@@ -1,0 +1,83 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write encodes a validated scenario in the same JSON schema Parse
+// reads (rates in Mbits/s, sizes in KBytes, propagation delays in
+// milliseconds), so a programmatically built Topology — a fuzzer's
+// shrunk reproducer, a generated benchmark — can be replayed with
+// `qnet -topology file.json`. Parse(Write(t)) yields an equivalent
+// scenario: defaults that Validate filled in (link names, source kinds,
+// average rates) are written explicitly, which keeps the file
+// self-describing.
+func Write(w io.Writer, t *Topology) error {
+	jt := jsonTopology{Name: t.Name, Description: t.Description}
+	for i := range t.Links {
+		l := &t.Links[i]
+		jl := jsonLink{
+			From:       l.From,
+			To:         l.To,
+			RateMbps:   l.Rate.Mbits(),
+			BufferKB:   l.Buffer.KB(),
+			HeadroomKB: l.Headroom.KB(),
+			PropMs:     l.PropDelay * 1000,
+			Scheme:     l.Spec,
+			Queues:     l.Queues,
+		}
+		// Keep explicit names only when they differ from the default.
+		if l.Name != l.From+"->"+l.To {
+			jl.Name = l.Name
+		}
+		jt.Links = append(jt.Links, jl)
+	}
+	for i := range t.Flows {
+		f := &t.Flows[i]
+		jt.Flows = append(jt.Flows, jsonFlow{
+			Name:        f.Name,
+			Route:       f.RouteNodes,
+			PeakMbps:    f.Spec.PeakRate.Mbits(),
+			TokenMbps:   f.Spec.TokenRate.Mbits(),
+			BucketKB:    f.Spec.BucketSize.KB(),
+			AvgMbps:     f.AvgRate.Mbits(),
+			BurstKB:     f.MeanBurst.KB(),
+			PacketBytes: float64(f.PacketSize),
+			Source:      string(f.Source),
+			Shaped:      f.Shaped,
+		})
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		jt.Events = append(jt.Events, jsonEvent{
+			At:       ev.At,
+			Type:     string(ev.Kind),
+			Flow:     ev.Flow,
+			Link:     ev.Link,
+			RateMbps: ev.Rate.Mbits(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jt); err != nil {
+		return fmt.Errorf("topology %s: %w", t.Name, err)
+	}
+	return nil
+}
+
+// Save writes the scenario to path via Write, creating or truncating
+// the file.
+func Save(path string, t *Topology) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("topology: %w", err)
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

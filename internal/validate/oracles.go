@@ -1,0 +1,541 @@
+package validate
+
+import (
+	"context"
+	"fmt"
+
+	"bufqos/internal/core"
+	"bufqos/internal/fluid"
+	"bufqos/internal/packet"
+	"bufqos/internal/report"
+	"bufqos/internal/scheme"
+	"bufqos/internal/topology"
+	"bufqos/internal/units"
+)
+
+// Case is one executed fuzz case: the generated scenario, the options
+// it ran under, and the finished run the oracles inspect. Oracles that
+// need counterfactual runs (admission monotonicity) re-run the
+// scenario themselves via topology.Run with the same options.
+type Case struct {
+	Index    int
+	Scenario *Scenario
+	Opts     topology.Options
+	Result   *topology.Result
+}
+
+// Oracle is one paper invariant turned into an executable check. Check
+// returns one report.Assertion per property instance it examined; an
+// assertion with a non-nil Err is a violation. An oracle that does not
+// apply to a case returns no assertions.
+type Oracle struct {
+	// Name is the stable identifier used by `qfuzz -oracle`.
+	Name string
+	// Citation anchors the invariant in the paper.
+	Citation string
+	// Doc is a one-line statement of the property.
+	Doc   string
+	Check func(ctx context.Context, c *Case) []report.Assertion
+}
+
+// Oracles returns the full oracle library in catalogue order.
+func Oracles() []Oracle {
+	return []Oracle{
+		{
+			Name:     "zero-conformant-loss",
+			Citation: "Propositions 1–2, §2.1–2.2",
+			Doc:      "an admitted shaped flow loses no conformant packet at any threshold- or sharing-managed hop",
+			Check:    checkZeroConformantLoss,
+		},
+		{
+			Name:     "conservation",
+			Citation: "§2 queueing model",
+			Doc:      "per link and flow, offered = departed + dropped + a residue within the buffer; delivered never exceeds offered",
+			Check:    checkConservation,
+		},
+		{
+			Name:     "reserved-throughput",
+			Citation: "Proposition 2 corollary, §2.2",
+			Doc:      "a sustained conformant flow on a guaranteed route delivers its reserved rate ρ up to a burst-and-storage allowance",
+			Check:    checkReservedThroughput,
+		},
+		{
+			Name:     "rejected-flow-idle",
+			Citation: "admission regions, eqs. (5)–(8), §2.3",
+			Doc:      "a flow refused by admission control carries no traffic",
+			Check:    checkRejectedIdle,
+		},
+		{
+			Name:     "admission-monotonicity",
+			Citation: "Proposition 2, §2.2 (the guarantee is unconditional)",
+			Doc:      "admitting one more flow never induces conformant loss for flows that stay admitted",
+			Check:    checkMonotonicity,
+		},
+		{
+			Name:     "threshold-necessity",
+			Citation: "Proposition 1 tightness via Example 1, §2.1",
+			Doc:      "in the fluid model the B·ρ/R threshold is lossless while 0.9× of it drops against a greedy competitor",
+			Check:    checkNecessity,
+		},
+		{
+			Name:     "hybrid-savings",
+			Citation: "equation (17), §4.1",
+			Doc:      "the hybrid allocation never needs more buffer than plain FIFO: B_FIFO − B_hybrid ≥ 0",
+			Check:    checkHybridSavings,
+		},
+		{
+			Name:     "sim-fluid-differential",
+			Citation: "§2 fluid analysis vs the packet simulator",
+			Doc:      "on an all-greedy threshold link, packet-sim departures and drops stay within a quantization envelope of the fluid trajectory",
+			Check:    checkDifferential,
+		},
+	}
+}
+
+// OracleNames returns the names in catalogue order.
+func OracleNames() []string {
+	var names []string
+	for _, o := range Oracles() {
+		names = append(names, o.Name)
+	}
+	return names
+}
+
+// linkGuaranteed reports whether a link's scheme carries the paper's
+// zero-conformant-loss guarantee: a FIFO or WFQ scheduler over the §3.2
+// threshold partition or its §3.3 sharing variant (whose reserved
+// thresholds are identical). Note that an under-scaled threshold
+// manager (threshold?scale<1) still claims the guarantee — that is
+// precisely the defect the oracles exist to catch.
+func linkGuaranteed(spec string) bool {
+	s, err := scheme.Parse(spec)
+	if err != nil {
+		return false
+	}
+	switch s.SchedulerName() {
+	case "fifo", "wfq":
+	default:
+		return false
+	}
+	switch s.ManagerName() {
+	case "threshold", "sharing":
+	default:
+		return false
+	}
+	return true
+}
+
+// routeGuaranteed reports whether every hop of the flow's route is a
+// guaranteed link.
+func routeGuaranteed(t *topology.Topology, f *topology.Flow) bool {
+	for _, li := range f.Route {
+		if !linkGuaranteed(t.Links[li].Spec) {
+			return false
+		}
+	}
+	return true
+}
+
+// assertable reports whether the flow is held to its guarantees in this
+// run: it must be admitted, shaped (no contract otherwise), and not
+// degraded by a link failure or rate cut.
+func assertable(f *topology.Flow, fr *topology.FlowResult) bool {
+	return fr.Admitted && !fr.Degraded && f.Shaped
+}
+
+func checkZeroConformantLoss(_ context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	var as []report.Assertion
+	for fi := range t.Flows {
+		f := &t.Flows[fi]
+		if !assertable(f, &c.Result.Flows[fi]) {
+			continue
+		}
+		for _, li := range f.Route {
+			if !linkGuaranteed(t.Links[li].Spec) {
+				continue
+			}
+			lf := &c.Result.Links[li].Flows[fi]
+			var err error
+			if lf.ConformantDropped.Packets != 0 {
+				err = fmt.Errorf("dropped %d conformant packets (%v)",
+					lf.ConformantDropped.Packets, lf.ConformantDropped.Bytes)
+			}
+			as = append(as, report.Assertion{
+				Name:   "zero-conformant-loss",
+				Detail: fmt.Sprintf("flow %s at link %s", f.Name, t.Links[li].Name),
+				Err:    err,
+			})
+		}
+	}
+	return as
+}
+
+func checkConservation(_ context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	var as []report.Assertion
+	for li := range t.Links {
+		l := &t.Links[li]
+		for fi := range t.Flows {
+			lf := &c.Result.Links[li].Flows[fi]
+			if lf.Offered.Packets == 0 {
+				continue
+			}
+			residue := lf.Offered.Bytes - lf.Dropped.Bytes - lf.Departed.Bytes
+			var err error
+			switch {
+			case residue < 0:
+				err = fmt.Errorf("more bytes left than arrived: offered %v, dropped %v, departed %v",
+					lf.Offered.Bytes, lf.Dropped.Bytes, lf.Departed.Bytes)
+			case residue > l.Buffer+t.Flows[fi].PacketSize:
+				err = fmt.Errorf("residue %v exceeds buffer %v", residue, l.Buffer)
+			}
+			as = append(as, report.Assertion{
+				Name:   "conservation",
+				Detail: fmt.Sprintf("flow %s at link %s", t.Flows[fi].Name, l.Name),
+				Err:    err,
+			})
+		}
+	}
+	for fi := range t.Flows {
+		fr := &c.Result.Flows[fi]
+		if fr.Offered.Packets == 0 {
+			continue
+		}
+		as = append(as, report.Assertion{
+			Name:   "conservation",
+			Detail: fmt.Sprintf("flow %s end-to-end", t.Flows[fi].Name),
+			Err: check(fr.Delivered.Bytes <= fr.Offered.Bytes,
+				"delivered %v exceeds offered %v", fr.Delivered.Bytes, fr.Offered.Bytes),
+		})
+	}
+	return as
+}
+
+func checkReservedThroughput(_ context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	var as []report.Assertion
+	for fi := range t.Flows {
+		f := &t.Flows[fi]
+		fr := &c.Result.Flows[fi]
+		if !assertable(f, fr) || fr.Left || !sustainedSource(f) || !routeGuaranteed(t, f) {
+			continue
+		}
+		active := fr.LeaveAt - fr.JoinAt
+		want := units.BytesAtRate(f.Spec.TokenRate, active) - allowanceFor(t, f)
+		as = append(as, report.Assertion{
+			Name:   "reserved-throughput",
+			Detail: fmt.Sprintf("flow %s: ≥ ρ = %v over %.3gs", f.Name, f.Spec.TokenRate, active),
+			Err: check(fr.Delivered.Bytes >= want,
+				"delivered %v (%v), want ≥ %v", fr.Delivered.Bytes, fr.Throughput, want),
+		})
+	}
+	return as
+}
+
+func checkRejectedIdle(_ context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	var as []report.Assertion
+	for fi := range t.Flows {
+		fr := &c.Result.Flows[fi]
+		if fr.Admitted {
+			continue
+		}
+		as = append(as, report.Assertion{
+			Name:   "rejected-flow-idle",
+			Detail: fmt.Sprintf("flow %s", t.Flows[fi].Name),
+			Err: check(fr.Offered.Packets == 0 && fr.Delivered.Packets == 0,
+				"non-admitted flow carried traffic: offered %d, delivered %d packets",
+				fr.Offered.Packets, fr.Delivered.Packets),
+		})
+	}
+	return as
+}
+
+// checkMonotonicity re-runs the scenario with one extra conformant flow
+// appended and asserts that every flow admitted in both runs still sees
+// zero conformant loss at its guaranteed hops. Appending (rather than
+// inserting) preserves the original flows' IDs and hence their derived
+// random streams, so their sources behave bit-identically; only the
+// queueing interleaving may change — which is exactly what the
+// guarantee says must not matter.
+func checkMonotonicity(ctx context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	applicable := false
+	for fi := range t.Flows {
+		if assertable(&t.Flows[fi], &c.Result.Flows[fi]) && routeGuaranteed(t, &t.Flows[fi]) {
+			applicable = true
+			break
+		}
+	}
+	if !applicable {
+		return nil
+	}
+	clone := cloneTopology(t)
+	clone.Flows = append(clone.Flows, topology.Flow{
+		Name:       "zz-intruder",
+		RouteNodes: append([]string(nil), t.Flows[0].RouteNodes...),
+		Spec: packet.FlowSpec{
+			PeakRate:   units.MbitsPerSecond(1),
+			TokenRate:  units.MbitsPerSecond(0.25),
+			BucketSize: units.KiloBytes(10),
+		},
+		Source: topology.SourceGreedy,
+		Shaped: true,
+	})
+	for li := range clone.Links {
+		if clone.Links[li].Queues != nil {
+			clone.Links[li].Queues = append(clone.Links[li].Queues, 0)
+		}
+	}
+	if err := clone.Validate(); err != nil {
+		return []report.Assertion{{
+			Name:   "admission-monotonicity",
+			Detail: "building the +1-flow variant",
+			Err:    err,
+		}}
+	}
+	vres, err := topology.Run(ctx, clone, c.Opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return []report.Assertion{{
+			Name:   "admission-monotonicity",
+			Detail: "running the +1-flow variant",
+			Err:    err,
+		}}
+	}
+	var as []report.Assertion
+	for fi := range t.Flows {
+		f := &t.Flows[fi]
+		if !assertable(f, &c.Result.Flows[fi]) || !vres.Flows[fi].Admitted || vres.Flows[fi].Degraded {
+			continue
+		}
+		var lost int64
+		for _, li := range f.Route {
+			if linkGuaranteed(t.Links[li].Spec) {
+				lost += vres.Links[li].Flows[fi].ConformantDropped.Packets
+			}
+		}
+		as = append(as, report.Assertion{
+			Name:   "admission-monotonicity",
+			Detail: fmt.Sprintf("flow %s with one extra admitted flow", f.Name),
+			Err: check(lost == 0,
+				"gained %d conformant drops after adding an unrelated flow", lost),
+		})
+	}
+	return as
+}
+
+// checkNecessity replays Proposition 1 and its Example 1 tightness in
+// the fluid model, parameterized by the case's first link and first
+// shaped flow: at the paper threshold B·ρ/R (plus one step of
+// discretization slack) a constant-rate-ρ flow suffers zero loss
+// against a greedy competitor pinned at the rest of the buffer; at 0.9×
+// the threshold it must lose fluid.
+func checkNecessity(_ context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	l := &t.Links[0]
+	r := l.Rate.BitsPerSecond()
+	b := l.Buffer.Bits()
+	rho := 0.1 * r
+	for fi := range t.Flows {
+		if t.Flows[fi].Shaped && t.Flows[fi].Spec.TokenRate.BitsPerSecond() < 0.5*r {
+			rho = t.Flows[fi].Spec.TokenRate.BitsPerSecond()
+			break
+		}
+	}
+	drain := b / r
+	dt := drain / 2500
+	steps := 25 * 2500
+	rates := func(float64) []float64 { return []float64{rho, 0} }
+
+	th := b * rho / r
+	suff := fluid.NewEngine(r, []float64{th + rho*dt, b - th - rho*dt}, dt)
+	suff.SetGreedy(1)
+	suff.Run(steps, rates)
+
+	scaled := 0.9 * th
+	nec := fluid.NewEngine(r, []float64{scaled, b - scaled}, dt)
+	nec.SetGreedy(1)
+	nec.Run(steps, rates)
+
+	return []report.Assertion{
+		{
+			Name:   "threshold-necessity",
+			Detail: fmt.Sprintf("sufficiency: threshold B·ρ/R (ρ=%v, R=%v, B=%v) lossless", units.Rate(rho), l.Rate, l.Buffer),
+			Err: check(suff.Dropped[0] == 0,
+				"fluid flow dropped %.0f bits at the paper threshold", suff.Dropped[0]),
+		},
+		{
+			Name:   "threshold-necessity",
+			Detail: "necessity: 0.9× the threshold drops against a greedy competitor",
+			Err: check(nec.Dropped[0] > 0,
+				"no loss at 0.9× threshold: the bound would not be tight"),
+		},
+	}
+}
+
+// checkHybridSavings evaluates eq. (17) on the case's admitted shaped
+// population: grouping the flows into two hybrid queues never needs
+// more buffer than the single FIFO partition.
+func checkHybridSavings(_ context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	var as []report.Assertion
+	for li := range t.Links {
+		l := &t.Links[li]
+		// Eq. (17) compares allocations at ONE multiplexing point, so
+		// pool only the admitted shaped flows that cross this link, and
+		// only when their reservations fit its rate (the equation's
+		// stability precondition Σρ < R).
+		var specs []packet.FlowSpec
+		var sumRho units.Rate
+		for fi := range t.Flows {
+			if !c.Result.Flows[fi].Admitted || !t.Flows[fi].Shaped {
+				continue
+			}
+			if indexOf(t.Flows[fi].Route, li) < 0 {
+				continue
+			}
+			specs = append(specs, t.Flows[fi].Spec)
+			sumRho += t.Flows[fi].Spec.TokenRate
+		}
+		if len(specs) < 2 || sumRho >= l.Rate {
+			continue
+		}
+		queueOf := make([]int, len(specs))
+		for i := range queueOf {
+			queueOf[i] = i % 2
+		}
+		groups, err := core.GroupFlows(specs, queueOf, 2)
+		if err == nil {
+			var fifoB units.Bytes
+			fifoB, err = core.RequiredBufferFIFO(specs, l.Rate)
+			if err == nil {
+				var sav units.Bytes
+				sav, err = core.BufferSavings(l.Rate, groups)
+				if err == nil {
+					err = check(sav >= 0, "negative savings %v: hybrid needs more than FIFO's %v", sav, fifoB)
+				}
+			}
+		}
+		as = append(as, report.Assertion{
+			Name:   "hybrid-savings",
+			Detail: fmt.Sprintf("B_FIFO − B_hybrid ≥ 0 over %d admitted flows on %s", len(specs), l.Name),
+			Err:    err,
+		})
+	}
+	return as
+}
+
+// checkDifferential replays a differential-family case through the
+// fluid engine. Every flow is greedy and shaped, so its arrival process
+// is exactly its envelope: peak rate until the bucket empties at
+// t* = σ/(peak − ρ), then ρ. The packet run's per-flow departures must
+// stay within a quantization envelope of the fluid trajectory, and
+// neither model may drop (Proposition 2 holds in both).
+func checkDifferential(_ context.Context, c *Case) []report.Assertion {
+	if c.Scenario.Kind != KindDifferential {
+		return nil
+	}
+	t := c.Scenario.Topo
+	l := &t.Links[0]
+	ths, err := core.Thresholds(t.Specs(), l.Rate, l.Buffer)
+	if err != nil {
+		return []report.Assertion{{Name: "sim-fluid-differential", Detail: "thresholds", Err: err}}
+	}
+	r := l.Rate.BitsPerSecond()
+	thBits := make([]float64, len(ths))
+	for i, th := range ths {
+		thBits[i] = th.Bits()
+	}
+	// dt small enough that one step moves far less than a threshold.
+	dt := (l.Buffer.Bits() / r) / 500
+	steps := int(c.Opts.Duration/dt) + 1
+
+	peak := make([]float64, len(t.Flows))
+	rho := make([]float64, len(t.Flows))
+	tstar := make([]float64, len(t.Flows))
+	for fi := range t.Flows {
+		s := t.Flows[fi].Spec
+		peak[fi] = s.PeakRate.BitsPerSecond()
+		rho[fi] = s.TokenRate.BitsPerSecond()
+		tstar[fi] = s.BucketSize.Bits() / (peak[fi] - rho[fi])
+	}
+	eng := fluid.NewEngine(r, thBits, dt)
+	buf := make([]float64, len(t.Flows))
+	eng.Run(steps, func(now float64) []float64 {
+		for fi := range buf {
+			if now < tstar[fi] {
+				buf[fi] = peak[fi]
+			} else {
+				buf[fi] = rho[fi]
+			}
+		}
+		return buf
+	})
+
+	var as []report.Assertion
+	for fi := range t.Flows {
+		f := &t.Flows[fi]
+		lf := &c.Result.Links[0].Flows[fi]
+		fluidDep := units.Bytes(eng.Departed[fi] / 8)
+		// Quantization envelope: the packet world trails by up to one
+		// bucket of burst granularity plus a handful of packets of
+		// scheduling slack; the fluid world ran one extra partial step.
+		tol := f.Spec.BucketSize/2 + 16*f.PacketSize + units.BytesAtRate(f.Spec.TokenRate, 2*dt)
+		diff := lf.Departed.Bytes - fluidDep
+		if diff < 0 {
+			diff = -diff
+		}
+		as = append(as,
+			report.Assertion{
+				Name: "sim-fluid-differential",
+				Detail: fmt.Sprintf("flow %s departures: packet %v vs fluid %v (tol %v)",
+					f.Name, lf.Departed.Bytes, fluidDep, tol),
+				Err: check(diff <= tol, "packet and fluid departures diverge by %v > %v", diff, tol),
+			},
+			report.Assertion{
+				Name:   "sim-fluid-differential",
+				Detail: fmt.Sprintf("flow %s losslessness in both models", f.Name),
+				Err: check(lf.ConformantDropped.Packets == 0 && eng.Dropped[fi] == 0,
+					"packet dropped %d conformant packets, fluid dropped %.0f bits",
+					lf.ConformantDropped.Packets, eng.Dropped[fi]),
+			},
+		)
+	}
+	return as
+}
+
+// sustainedSource mirrors topology.Verify's notion of a source that
+// keeps its bucket busy all run.
+func sustainedSource(f *topology.Flow) bool {
+	switch f.Source {
+	case topology.SourceGreedy:
+		return true
+	case topology.SourceCBR:
+		return f.AvgRate >= f.Spec.TokenRate
+	default:
+		return false
+	}
+}
+
+// allowanceFor mirrors topology.Verify's delivery allowance: one bucket
+// σ plus, per hop, the buffer, the wire, and one packet.
+func allowanceFor(t *topology.Topology, f *topology.Flow) units.Bytes {
+	a := f.Spec.BucketSize
+	for _, li := range f.Route {
+		l := &t.Links[li]
+		a += l.Buffer + units.BytesAtRate(l.Rate, l.PropDelay) + f.PacketSize
+	}
+	return a
+}
+
+// check returns nil when ok, else the formatted violation.
+func check(ok bool, format string, args ...any) error {
+	if ok {
+		return nil
+	}
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,47 @@
+package bufqos_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"bufqos/internal/validate"
+)
+
+// TestExperimentsOracleCatalogue pins the EXPERIMENTS.md invariant
+// catalogue to the oracle library: every validate.Oracles() entry must
+// have a row (with its paper citation) between the oracle-catalogue
+// markers, so adding or renaming an oracle without documenting it
+// fails the build.
+func TestExperimentsOracleCatalogue(t *testing.T) {
+	doc, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		beginTag = "<!-- oracle-catalogue:begin"
+		endTag   = "<!-- oracle-catalogue:end -->"
+	)
+	s := string(doc)
+	begin := strings.Index(s, beginTag)
+	end := strings.Index(s, endTag)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("EXPERIMENTS.md lacks the oracle-catalogue markers (%q ... %q)", beginTag, endTag)
+	}
+	table := s[begin:end]
+
+	for _, o := range validate.Oracles() {
+		row := fmt.Sprintf("| `%s` |", o.Name)
+		if !strings.Contains(table, row) {
+			t.Errorf("EXPERIMENTS.md oracle catalogue lacks a row for %q (expected a cell %q)", o.Name, row)
+			continue
+		}
+		if !strings.Contains(table, o.Citation) {
+			t.Errorf("EXPERIMENTS.md row for %q omits its citation %q", o.Name, o.Citation)
+		}
+		if !strings.Contains(table, o.Doc) {
+			t.Errorf("EXPERIMENTS.md row for %q does not state its invariant %q", o.Name, o.Doc)
+		}
+	}
+}
