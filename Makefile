@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race lint bench bench-smoke topo-smoke fuzz-smoke fuzz-nightly docs-check
+.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke fuzz-smoke fuzz-nightly docs-check
 
 verify: build vet test race
 
@@ -27,10 +27,19 @@ lint:
 
 race:
 	go test -race -short -run 'TestParallel|TestPool|TestSweepCancel|TestMetricsDeterministic' ./internal/experiment
+	go test -race -run 'TestShardEquivalence|TestRunMergesDeterministically' ./internal/topology ./internal/shard
 
 # Record a benchmark baseline, e.g. `make bench > results/bench-$(date +%F).txt`.
 bench:
 	go test -bench . -benchmem
+
+# Regenerate the committed sharded-execution benchmark: one
+# 1000-link / 100k-flow scenario swept over -shards 1/2/4/8, with
+# bit-identity between all shard counts asserted. The JSON notes the
+# host core count — compare speedups only across equal-core hosts.
+bench-json:
+	go run ./cmd/qnet -gen 'random?links=1000,flows=100000,seed=1' \
+		-duration 0.1 -bench-json BENCH_topology.json
 
 # One fast iteration of the headline benchmarks: catches benchmarks
 # that no longer compile or crash without paying for full measurement.

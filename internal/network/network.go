@@ -129,21 +129,36 @@ type Delivery struct {
 	// per-flow counters
 	packets []int64
 	bytes   []units.Bytes
-	delays  []*stats.DelayTracker
+	dsum    []float64 // running delay sum (exact: same additions in both modes)
+	dmax    []float64
+	delays  []*stats.DelayTracker // nil in light mode
 }
 
-// NewDelivery builds an end-to-end sink for nflows flows.
+// NewDelivery builds an end-to-end sink for nflows flows with full
+// per-flow delay tracking (histogram + exact-sample quantiles).
 func NewDelivery(s *sim.Simulator, nflows int) *Delivery {
-	d := &Delivery{
-		sim:     s,
-		packets: make([]int64, nflows),
-		bytes:   make([]units.Bytes, nflows),
-		delays:  make([]*stats.DelayTracker, nflows),
-	}
+	d := NewDeliveryLight(s, nflows)
+	d.delays = make([]*stats.DelayTracker, nflows)
 	for i := range d.delays {
 		d.delays[i] = stats.NewDelayTracker(0)
 	}
 	return d
+}
+
+// NewDeliveryLight builds a sink that records only each flow's count,
+// byte volume, delay sum, and delay maximum — no histograms or sample
+// reservoirs. With 10⁵ flows the full trackers cost tens of kilobytes
+// each; the light mode keeps MeanDelay and MaxDelay bit-identical to the
+// full mode (the same float additions in the same order) at 32 bytes per
+// flow. Delay returns nil for every flow in this mode.
+func NewDeliveryLight(s *sim.Simulator, nflows int) *Delivery {
+	return &Delivery{
+		sim:     s,
+		packets: make([]int64, nflows),
+		bytes:   make([]units.Bytes, nflows),
+		dsum:    make([]float64, nflows),
+		dmax:    make([]float64, nflows),
+	}
 }
 
 // NumFlows returns how many flows the delivery sink tracks.
@@ -160,7 +175,14 @@ func (d *Delivery) Receive(p *packet.Packet) {
 	}
 	d.packets[p.Flow]++
 	d.bytes[p.Flow] += p.Size
-	d.delays[p.Flow].Add(d.sim.Now() - p.Created)
+	delay := d.sim.Now() - p.Created
+	d.dsum[p.Flow] += delay
+	if delay > d.dmax[p.Flow] {
+		d.dmax[p.Flow] = delay
+	}
+	if d.delays != nil {
+		d.delays[p.Flow].Add(delay)
+	}
 }
 
 // Packets returns flow's delivered packet count.
@@ -178,8 +200,31 @@ func (d *Delivery) Throughput(flow int) units.Rate {
 }
 
 // Delay returns flow's end-to-end delay tracker (source departure to
-// final delivery).
-func (d *Delivery) Delay(flow int) *stats.DelayTracker { return d.delays[flow] }
+// final delivery), or nil for a light-mode sink.
+func (d *Delivery) Delay(flow int) *stats.DelayTracker {
+	if d.delays == nil {
+		return nil
+	}
+	return d.delays[flow]
+}
+
+// MeanDelay returns flow's average end-to-end delay in seconds (0 when
+// nothing was delivered). Available in both full and light modes, with
+// bit-identical values.
+func (d *Delivery) MeanDelay(flow int) float64 {
+	if d.packets[flow] == 0 {
+		return 0
+	}
+	return d.dsum[flow] / float64(d.packets[flow])
+}
+
+// MaxDelay returns flow's worst end-to-end delay in seconds.
+func (d *Delivery) MaxDelay(flow int) float64 { return d.dmax[flow] }
+
+// DelaySum returns flow's total accumulated delay in seconds. Sharded
+// engines merge per-shard sinks by adding sums (a flow delivers on
+// exactly one shard, so the others contribute exact zeros).
+func (d *Delivery) DelaySum(flow int) float64 { return d.dsum[flow] }
 
 // Path wires a chain of routers for a set of flows: every flow entering
 // at the head traverses all hops and terminates in the Delivery sink.

@@ -24,6 +24,10 @@ type Packet struct {
 	Arrived float64
 	// Seq is a per-flow sequence number assigned by the source.
 	Seq uint64
+	// Hop is the packet's current position on its flow's route (0 at
+	// the first link). Engines that renumber Flow to a link-local index
+	// use it to find the next hop without a global lookup.
+	Hop int32
 	// Conformant marks whether a token-bucket meter at the network edge
 	// found the packet within the flow's (σ, ρ) profile. The remark
 	// after Proposition 1 colors conformant bits green and excess bits

@@ -43,8 +43,15 @@ type schedulerDef struct {
 	doc     string
 	paper   string // paper section or reference
 	takesK  bool   // accepts the ":k" queue-count argument
-	params  []ParamDef
-	build   func(cfg Config, s *Scheme) (sched.Scheduler, error)
+	// popSensitive marks schedulers whose per-flow behaviour depends on
+	// the whole flow population, not just each flow's own spec: hybrid
+	// aggregates (σ, ρ) over every flow in a queue to size rates and
+	// buffers, and DRR normalizes quanta by the population's minimum
+	// weight. Such schemes must be built with the full global population
+	// even on links only a subset of flows traverses.
+	popSensitive bool
+	params       []ParamDef
+	build        func(cfg Config, s *Scheme) (sched.Scheduler, error)
 	// combined, when set, builds manager and scheduler together (the
 	// hybrid architecture partitions the buffer per queue, so its
 	// manager depends on the scheduler's queue allocation).
@@ -85,9 +92,10 @@ var schedulers = []*schedulerDef{
 	},
 	{
 		name: "hybrid", display: "hybrid",
-		doc:    "k FIFO queues under WFQ (Proposition 3 rate allocation); ':k' fixes the queue count, otherwise it is derived from the flow→queue map",
-		paper:  "§4",
-		takesK: true,
+		doc:          "k FIFO queues under WFQ (Proposition 3 rate allocation); ':k' fixes the queue count, otherwise it is derived from the flow→queue map",
+		paper:        "§4",
+		takesK:       true,
+		popSensitive: true,
 		combined: func(cfg Config, s *Scheme) (buffer.Manager, sched.Scheduler, error) {
 			return buildHybrid(cfg, s)
 		},
@@ -115,8 +123,9 @@ var schedulers = []*schedulerDef{
 	},
 	{
 		name: "drr", display: "DRR",
-		doc:   "deficit round robin, quantum proportional to token rate",
-		paper: "related work",
+		doc:          "deficit round robin, quantum proportional to token rate",
+		paper:        "related work",
+		popSensitive: true,
 		build: func(cfg Config, _ *Scheme) (sched.Scheduler, error) {
 			return sched.NewDRR(tokenRates(cfg.Specs), cfg.packetSize()), nil
 		},

@@ -143,6 +143,15 @@ func (s *Scheme) ManagerName() string { return s.mgr.name }
 // Config.QueueOf or for non-hybrid schedulers).
 func (s *Scheme) Queues() int { return s.k }
 
+// PopulationSensitive reports whether the scheme's per-flow behaviour
+// depends on the whole flow population rather than only each flow's own
+// spec (hybrid's aggregate rate/buffer allocation, DRR's min-weight
+// quantum normalization). A scenario engine may build a
+// population-insensitive scheme with just the flows traversing a link —
+// per-flow thresholds, weights, budgets, and delay classes come out
+// identical — but a sensitive one must always see the full population.
+func (s *Scheme) PopulationSensitive() bool { return s.sched.popSensitive }
+
 // Param returns a parameter's effective value (explicit or default) and
 // whether the scheme defines it at all.
 func (s *Scheme) Param(name string) (float64, bool) {

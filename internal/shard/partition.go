@@ -1,0 +1,229 @@
+// Package shard provides conservative-synchronization parallel
+// discrete-event execution: a deterministic partitioner that groups a
+// link graph into per-shard components, and a window coordinator that
+// drives one simulator per shard through fixed lookahead windows,
+// exchanging in-flight work at barriers.
+//
+// The synchronization protocol is the classic conservative one. Every
+// cut edge (an adjacency whose endpoints live on different shards) has
+// a lookahead: the minimum simulated time between the instant a
+// producing event executes on one shard and the earliest instant its
+// effect can occur on another (for a network link, the propagation
+// delay). With window W = min lookahead over cut edges, work produced
+// during window [T, T+W) arrives no earlier than T+W, so each shard may
+// execute a whole window without hearing from its peers, and a barrier
+// exchange between windows preserves causality. Zero-lookahead edges
+// cannot be cut; the partitioner forces their endpoints into the same
+// shard (union-find colocation) before balancing.
+package shard
+
+import "math"
+
+// Edge is one directed adjacency in the entity graph being partitioned:
+// work finishing at From can appear at To after Lookahead simulated
+// seconds. Weight estimates the traffic crossing the adjacency (the cut
+// cost the partitioner minimizes).
+type Edge struct {
+	From, To  int
+	Lookahead float64
+	Weight    int64
+}
+
+// Partition maps each entity (link) to a shard.
+type Partition struct {
+	// Assign maps entity index to shard index, in [0, N).
+	Assign []int
+	// N is the effective shard count: min(requested, number of
+	// colocation groups), and at least 1.
+	N int
+	// Window is the synchronization window W: the minimum lookahead over
+	// cut edges, or +Inf when no edge is cut (single shard, or disjoint
+	// components).
+	Window float64
+	// CutEdges and CutWeight describe the realized cut.
+	CutEdges  int
+	CutWeight int64
+}
+
+// Compute partitions n entities into at most shards groups, minimizing
+// cut weight greedily: zero-lookahead edges are first contracted
+// (union-find), then shards are grown one at a time around adjacency —
+// each shard seeds with the heaviest unassigned group and repeatedly
+// absorbs the unassigned group most strongly connected to it until the
+// shard reaches its load target. The result is deterministic: every
+// tie breaks toward the smaller group index.
+//
+// weight estimates per-entity load (e.g. flow-hops of a link); nil
+// means uniform. Entities untouched by any edge are ordinary groups of
+// their own.
+func Compute(n, shards int, edges []Edge, weight []int64) Partition {
+	p := Partition{Assign: make([]int, n), N: 1, Window: math.Inf(1)}
+	if n == 0 {
+		p.N = 0
+		return p
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	// 1. Contract zero-lookahead edges.
+	uf := newUnionFind(n)
+	for _, e := range edges {
+		if e.Lookahead == 0 {
+			uf.union(e.From, e.To)
+		}
+	}
+
+	// 2. Collapse to groups, indexed in ascending order of their
+	// smallest member so group numbering is canonical.
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	var groupWeight []int64
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		if groupOf[root] == -1 {
+			groupOf[root] = len(groupWeight)
+			groupWeight = append(groupWeight, 0)
+		}
+		groupOf[i] = groupOf[root]
+		if weight != nil {
+			groupWeight[groupOf[i]] += weight[i]
+		} else {
+			groupWeight[groupOf[i]]++
+		}
+	}
+	groups := len(groupWeight)
+	if shards > groups {
+		shards = groups
+	}
+
+	// 3. Inter-group adjacency (symmetrized: cutting a→b costs the same
+	// as b→a for balance purposes).
+	adj := make([]map[int]int64, groups)
+	for _, e := range edges {
+		a, b := groupOf[e.From], groupOf[e.To]
+		if a == b {
+			continue
+		}
+		w := e.Weight
+		if w <= 0 {
+			w = 1
+		}
+		if adj[a] == nil {
+			adj[a] = map[int]int64{}
+		}
+		if adj[b] == nil {
+			adj[b] = map[int]int64{}
+		}
+		adj[a][b] += w
+		adj[b][a] += w
+	}
+
+	// 4. Greedy growth. conn[g] tracks g's connectivity to the shard
+	// currently being grown.
+	groupShard := make([]int, groups)
+	for i := range groupShard {
+		groupShard[i] = -1
+	}
+	var total int64
+	for _, w := range groupWeight {
+		total += w
+	}
+	target := (total + int64(shards) - 1) / int64(shards)
+	conn := make([]int64, groups)
+	remaining := groups
+	for s := 0; s < shards; s++ {
+		for i := range conn {
+			conn[i] = 0
+		}
+		// Leave at least one group for every later shard.
+		maxTake := remaining - (shards - 1 - s)
+		var load int64
+		taken := 0
+		for taken < maxTake && (load < target || taken == 0) {
+			best := -1
+			for g := 0; g < groups; g++ {
+				if groupShard[g] != -1 {
+					continue
+				}
+				switch {
+				case best == -1,
+					conn[g] > conn[best],
+					conn[g] == conn[best] && groupWeight[g] > groupWeight[best]:
+					best = g
+				}
+			}
+			if best == -1 {
+				break
+			}
+			groupShard[best] = s
+			load += groupWeight[best]
+			taken++
+			remaining--
+			for g, w := range adj[best] {
+				if groupShard[g] == -1 {
+					conn[g] += w
+				}
+			}
+		}
+	}
+	// Any stragglers (possible when growth closed early) go to the last
+	// shard.
+	for g := 0; g < groups; g++ {
+		if groupShard[g] == -1 {
+			groupShard[g] = shards - 1
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		p.Assign[i] = groupShard[groupOf[i]]
+	}
+	p.N = shards
+
+	// 5. Cut statistics and the window.
+	for _, e := range edges {
+		if p.Assign[e.From] == p.Assign[e.To] {
+			continue
+		}
+		p.CutEdges++
+		p.CutWeight += e.Weight
+		if e.Lookahead < p.Window {
+			p.Window = e.Lookahead
+		}
+	}
+	return p
+}
+
+// unionFind is a standard disjoint-set with path halving.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	uf := make(unionFind, n)
+	for i := range uf {
+		uf[i] = i
+	}
+	return uf
+}
+
+func (uf unionFind) find(x int) int {
+	for uf[x] != x {
+		uf[x] = uf[uf[x]]
+		x = uf[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, keeping the smaller root so group
+// numbering stays canonical.
+func (uf unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	uf[rb] = ra
+}

@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestComputeColocatesZeroLookahead(t *testing.T) {
+	// 0 -> 1 with zero lookahead must share a shard; 1 -> 2 with
+	// lookahead 1ms may be cut.
+	p := Compute(3, 2, []Edge{
+		{From: 0, To: 1, Lookahead: 0, Weight: 5},
+		{From: 1, To: 2, Lookahead: 0.001, Weight: 5},
+	}, nil)
+	if p.Assign[0] != p.Assign[1] {
+		t.Errorf("zero-lookahead endpoints split: assign %v", p.Assign)
+	}
+	if p.N != 2 {
+		t.Errorf("N = %d, want 2", p.N)
+	}
+	if p.Assign[2] == p.Assign[1] {
+		t.Errorf("expected the 1ms edge to be cut, assign %v", p.Assign)
+	}
+	if p.Window != 0.001 {
+		t.Errorf("Window = %v, want 0.001", p.Window)
+	}
+	if p.CutEdges != 1 {
+		t.Errorf("CutEdges = %d, want 1", p.CutEdges)
+	}
+}
+
+func TestComputeClampsShards(t *testing.T) {
+	// Two links glued by a zero-lookahead edge form one group; asking
+	// for 4 shards must yield 1.
+	p := Compute(2, 4, []Edge{{From: 0, To: 1, Lookahead: 0}}, nil)
+	if p.N != 1 {
+		t.Errorf("N = %d, want 1", p.N)
+	}
+	if !math.IsInf(p.Window, 1) {
+		t.Errorf("Window = %v, want +Inf (no cut edges)", p.Window)
+	}
+}
+
+func TestComputeBalancesByWeight(t *testing.T) {
+	// A chain of 4 links where link 0 carries almost all the load: the
+	// partitioner must not lump everything with it.
+	edges := []Edge{
+		{From: 0, To: 1, Lookahead: 0.001, Weight: 1},
+		{From: 1, To: 2, Lookahead: 0.001, Weight: 1},
+		{From: 2, To: 3, Lookahead: 0.001, Weight: 1},
+	}
+	p := Compute(4, 2, edges, []int64{90, 10, 10, 10})
+	counts := map[int]int{}
+	for _, s := range p.Assign {
+		counts[s]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("used %d shards, want 2 (assign %v)", len(counts), p.Assign)
+	}
+	// The heavy link must sit alone (its weight already exceeds the
+	// target), leaving the three light links together.
+	var heavyShard = p.Assign[0]
+	for i := 1; i < 4; i++ {
+		if p.Assign[i] == heavyShard {
+			t.Errorf("link %d shares a shard with the heavy link: %v", i, p.Assign)
+		}
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	edges := []Edge{
+		{From: 0, To: 1, Lookahead: 0.002, Weight: 3},
+		{From: 1, To: 2, Lookahead: 0.001, Weight: 2},
+		{From: 2, To: 3, Lookahead: 0.004, Weight: 7},
+		{From: 3, To: 0, Lookahead: 0.003, Weight: 1},
+		{From: 1, To: 3, Lookahead: 0, Weight: 2},
+	}
+	w := []int64{4, 4, 5, 2}
+	first := Compute(4, 3, edges, w)
+	for i := 0; i < 20; i++ {
+		if p := Compute(4, 3, edges, w); !reflect.DeepEqual(p, first) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, p, first)
+		}
+	}
+}
+
+// TestRunMergesDeterministically drives two producer shards feeding a
+// third and checks the injected order is the (Time, Sched, tie) merge
+// regardless of scheduling interleavings.
+func TestRunMergesDeterministically(t *testing.T) {
+	type pkt struct{ src, seq int }
+	var (
+		mu       sync.Mutex
+		injected []Item[pkt]
+	)
+	produce := func(shard int, limit float64, final bool) []Item[pkt] {
+		if shard == 2 || final {
+			return nil
+		}
+		// Both producers emit items due at the same arrival instant;
+		// shard 1 produced its item earlier in simulated time.
+		if limit != 0.5 {
+			return nil // only the first window produces
+		}
+		switch shard {
+		case 0:
+			return []Item[pkt]{{Dst: 2, Time: 0.6, Sched: 0.2, Load: pkt{0, 1}}}
+		default:
+			return []Item[pkt]{
+				{Dst: 2, Time: 0.6, Sched: 0.1, Load: pkt{1, 1}},
+				{Dst: 2, Time: 0.6, Sched: 0.2, Load: pkt{1, 2}},
+			}
+		}
+	}
+	inject := func(shard int, items []Item[pkt]) {
+		mu.Lock()
+		injected = append(injected, items...)
+		mu.Unlock()
+	}
+	less := func(a, b pkt) bool {
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	}
+	var first []Item[pkt]
+	for trial := 0; trial < 10; trial++ {
+		injected = nil
+		st, err := Run(context.Background(), Config{Shards: 3, Window: 0.5, Horizon: 1}, produce, inject, less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two exclusive windows (0.5, 1.0) plus one boundary pass.
+		if st.Windows != 3 {
+			t.Fatalf("Windows = %d, want 3", st.Windows)
+		}
+		want := []Item[pkt]{
+			{Dst: 2, Time: 0.6, Sched: 0.1, Load: pkt{1, 1}},
+			{Dst: 2, Time: 0.6, Sched: 0.2, Load: pkt{0, 1}},
+			{Dst: 2, Time: 0.6, Sched: 0.2, Load: pkt{1, 2}},
+		}
+		if !reflect.DeepEqual(injected, want) {
+			t.Fatalf("trial %d injected %v, want %v", trial, injected, want)
+		}
+		if trial == 0 {
+			first = append(first, injected...)
+		} else if !reflect.DeepEqual(injected, first) {
+			t.Fatalf("trial %d differs from first", trial)
+		}
+		if st.Exchanged[2] != 3 {
+			t.Errorf("Exchanged[2] = %d, want 3", st.Exchanged[2])
+		}
+	}
+}
+
+// TestRunCausalityViolation checks an item due before the window end is
+// rejected rather than silently reordered.
+func TestRunCausalityViolation(t *testing.T) {
+	produce := func(shard int, limit float64, final bool) []Item[int] {
+		if final || limit != 0.5 {
+			return nil
+		}
+		return []Item[int]{{Dst: 0, Time: 0.4, Sched: 0.3}}
+	}
+	_, err := Run(context.Background(), Config{Shards: 1, Window: 0.5, Horizon: 2},
+		produce, func(int, []Item[int]) {}, func(a, b int) bool { return a < b })
+	if err == nil {
+		t.Fatal("expected a causality error")
+	}
+}
+
+// TestRunCancellation checks ctx aborts between windows.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	windows := 0
+	produce := func(shard int, limit float64, final bool) []Item[int] {
+		windows++
+		if windows == 3 {
+			cancel()
+		}
+		return nil
+	}
+	_, err := Run(ctx, Config{Shards: 1, Window: 0.001, Horizon: 10},
+		produce, func(int, []Item[int]) {}, func(a, b int) bool { return a < b })
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if windows > 4 {
+		t.Errorf("ran %d windows after cancel", windows)
+	}
+}
+
+// TestRunMinWindows checks the responsiveness cap subdivides a huge
+// lookahead window.
+func TestRunMinWindows(t *testing.T) {
+	var limits []float64
+	produce := func(shard int, limit float64, final bool) []Item[int] {
+		limits = append(limits, limit)
+		return nil
+	}
+	st, err := Run(context.Background(),
+		Config{Shards: 1, Window: math.Inf(1), Horizon: 8, MinWindows: 4},
+		produce, func(int, []Item[int]) {}, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four exclusive windows (2, 4, 6, 8) plus one boundary pass.
+	if st.Windows != 5 {
+		t.Errorf("Windows = %d, want 5 (limits %v)", st.Windows, limits)
+	}
+	if !sort.Float64sAreSorted(limits) || limits[len(limits)-1] != 8 {
+		t.Errorf("window limits %v, want ascending ending at 8", limits)
+	}
+}

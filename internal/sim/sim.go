@@ -26,13 +26,25 @@ import (
 
 // node is one arena slot. The generation counter distinguishes a live
 // occupant from a recycled slot, so stale Event handles stay inert.
+//
+// sched is the simulated time at which the event was scheduled. For
+// At/After it is the kernel's clock at the call; AtStamped lets a
+// caller supply it explicitly (the sharded topology engine stamps
+// cross-shard arrivals with their upstream departure time, so a merged
+// heap reproduces the order a single global kernel would have used).
 type node struct {
-	time float64
-	seq  uint64
-	fn   func()
-	gen  uint32
-	pos  int32 // heap position, -1 when not queued
+	time  float64
+	sched float64
+	seq   uint64
+	fn    func()
+	gen   uint32
+	pos   int32 // heap position, -1 free, posInBatch while batch-dispatching
 }
+
+// posInBatch marks a node that has been popped into the current
+// dispatch batch but has not executed yet. Cancelling such a node nils
+// its callback instead of freeing the slot (the batch loop owns it).
+const posInBatch int32 = -2
 
 // Event is a value handle to a scheduled callback. The zero Event is
 // inert; events are created through Simulator.At and Simulator.After.
@@ -47,13 +59,27 @@ type Event struct {
 func (e Event) Time() float64 { return e.time }
 
 // Cancel removes a pending event from the queue. Cancelling an event
-// that already fired (or was already cancelled) is a no-op.
+// that already fired (or was already cancelled) is a no-op. An event
+// that shares the current dispatch instant may be cancelled by an
+// earlier event of the same batch: its callback is nilled and the batch
+// loop skips it, preserving the exact semantics of one-at-a-time
+// dispatch.
 func (e Event) Cancel() {
 	if e.s == nil {
 		return
 	}
 	n := &e.s.nodes[e.id]
-	if n.gen != e.gen || n.pos < 0 {
+	if n.gen != e.gen {
+		return
+	}
+	if n.pos == posInBatch {
+		if n.fn != nil {
+			n.fn = nil
+			e.s.mCancelled.Inc()
+		}
+		return
+	}
+	if n.pos < 0 {
 		return
 	}
 	e.s.removeAt(int(n.pos))
@@ -78,7 +104,8 @@ type Simulator struct {
 	nsteps uint64
 	nodes  []node
 	free   []int32
-	heap   []int32 // 4-ary min-heap of arena indices, ordered by (time, seq)
+	heap   []int32 // 4-ary min-heap of arena indices, ordered by (time, sched, seq)
+	batch  []int32 // scratch for RunUntilBatch: one instant's events
 
 	// Metric handles, nil unless Instrument was called. Nil handles
 	// no-op, so the disabled path costs one branch per operation.
@@ -134,6 +161,7 @@ func (s *Simulator) At(t float64, fn func()) Event {
 	id := s.alloc()
 	n := &s.nodes[id]
 	n.time = t
+	n.sched = s.now
 	n.seq = s.seq
 	n.fn = fn
 	s.seq++
@@ -157,6 +185,72 @@ func (s *Simulator) After(d float64, fn func()) Event {
 	return s.At(s.now+d, fn)
 }
 
+// AtStamped schedules fn to run at absolute time t carrying an explicit
+// scheduling stamp. Same-time events order by (sched, insertion), so an
+// event injected from another simulator (a cross-shard arrival) can
+// reproduce the position it would have had in a single global kernel:
+// stamp it with the time its producing event executed. sched must not
+// exceed t, and t obeys the same bounds as At.
+//
+// For events created by At/After, sched is the kernel clock at the
+// call. Since the clock never runs backwards, a later insertion always
+// has an equal-or-later stamp, so for purely local workloads the
+// (time, sched, seq) order is identical to the historical (time, seq)
+// order — the stamp only discriminates when merging work from elsewhere.
+func (s *Simulator) AtStamped(t, sched float64, fn func()) Event {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: non-finite event time %v", t))
+	}
+	if math.IsNaN(sched) || math.IsInf(sched, 0) {
+		panic(fmt.Sprintf("sim: non-finite scheduling stamp %v", sched))
+	}
+	if sched > t {
+		panic(fmt.Sprintf("sim: scheduling stamp %v after event time %v", sched, t))
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	id := s.alloc()
+	n := &s.nodes[id]
+	n.time = t
+	n.sched = sched
+	n.seq = s.seq
+	n.fn = fn
+	s.seq++
+	s.heap = append(s.heap, id)
+	n.pos = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
+	if s.mScheduled != nil {
+		s.mScheduled.Inc()
+		s.mHeapDepth.Set(int64(len(s.heap)))
+	}
+	return Event{s: s, id: id, gen: n.gen, time: t}
+}
+
+// Reserve pre-sizes the arena, heap, and free list for at least n
+// simultaneously pending events, so a large warm-up (a 100k-flow
+// topology scheduling its sources) does no growth reallocations.
+func (s *Simulator) Reserve(n int) {
+	if cap(s.nodes) < n {
+		nodes := make([]node, len(s.nodes), n)
+		copy(nodes, s.nodes)
+		s.nodes = nodes
+	}
+	if cap(s.heap) < n {
+		heap := make([]int32, len(s.heap), n)
+		copy(heap, s.heap)
+		s.heap = heap
+	}
+	if cap(s.free) < n {
+		free := make([]int32, len(s.free), n)
+		copy(free, s.free)
+		s.free = free
+	}
+}
+
 // Step executes the next pending event and reports whether one was
 // executed.
 func (s *Simulator) Step() bool {
@@ -170,7 +264,9 @@ func (s *Simulator) Step() bool {
 	s.nsteps++
 	s.removeAt(0)
 	s.freeNode(id)
-	s.mDispatched.Inc()
+	if s.mDispatched != nil {
+		s.mDispatched.Inc()
+	}
 	fn()
 	return true
 }
@@ -183,13 +279,95 @@ func (s *Simulator) RunUntil(t float64) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) is in the past (now %v)", t, s.now))
 	}
-	for len(s.heap) > 0 {
-		if s.nodes[s.heap[0]].time > t {
-			break
-		}
-		s.Step()
+	s.RunUntilBatch(t)
+}
+
+// RunBefore executes events in order while they are strictly earlier
+// than t, leaving the clock at the last executed event. Events at
+// exactly t stay queued — the sharded engine runs each synchronization
+// window [T, T+W) with RunBefore(T+W), so arrivals landing exactly on a
+// window boundary execute in the next window, after the exchange that
+// may deliver their equal-time cross-shard peers.
+func (s *Simulator) RunBefore(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: RunBefore(%v) is in the past (now %v)", t, s.now))
 	}
+	s.dispatchBatches(t, true)
+}
+
+// RunUntilBatch is RunUntil's engine: it drains events in batches of
+// identical timestamps, re-reading the heap root only between instants,
+// and sets the clock to exactly t when done. Cancellations within a
+// batch are honoured (the cancelled callback is skipped), so semantics
+// match one-at-a-time dispatch exactly.
+func (s *Simulator) RunUntilBatch(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: RunUntilBatch(%v) is in the past (now %v)", t, s.now))
+	}
+	s.dispatchBatches(t, false)
 	s.now = t
+}
+
+// dispatchBatches pops and executes events up to t — strictly before t
+// when exclusive — one instant at a time. All events of one instant are
+// popped before any executes, so the heap is touched once per pop
+// rather than once per pop-and-reinspect cycle in the caller's loop.
+func (s *Simulator) dispatchBatches(t float64, exclusive bool) {
+	mDispatched := s.mDispatched
+	for len(s.heap) > 0 {
+		id := s.heap[0]
+		bt := s.nodes[id].time
+		if bt > t || (exclusive && bt == t) {
+			return
+		}
+		s.removeAt(0)
+		if len(s.heap) == 0 || s.nodes[s.heap[0]].time != bt {
+			// Fast path: the instant holds a single event — the normal
+			// case in continuous time — so skip the batch bookkeeping.
+			n := &s.nodes[id]
+			fn := n.fn
+			s.now = bt
+			s.nsteps++
+			s.freeNode(id)
+			if mDispatched != nil {
+				mDispatched.Inc()
+			}
+			fn()
+			continue
+		}
+		// Gather the whole instant. New events scheduled at bt by the
+		// batch's own callbacks are picked up by the next iteration, in
+		// seq order after this batch — exactly as serial dispatch would.
+		batch := s.batch[:0]
+		s.batch = nil // re-entrant callbacks get fresh scratch
+		s.nodes[id].pos = posInBatch
+		batch = append(batch, id)
+		for len(s.heap) > 0 {
+			id := s.heap[0]
+			n := &s.nodes[id]
+			if n.time != bt {
+				break
+			}
+			s.removeAt(0)
+			n.pos = posInBatch
+			batch = append(batch, id)
+		}
+		s.now = bt
+		for _, id := range batch {
+			n := &s.nodes[id]
+			fn := n.fn
+			s.freeNode(id)
+			if fn == nil {
+				continue // cancelled by an earlier event of this batch
+			}
+			s.nsteps++
+			if mDispatched != nil {
+				mDispatched.Inc()
+			}
+			fn()
+		}
+		s.batch = batch[:0] // hand the scratch back for the next instant
+	}
 }
 
 // Run executes events until the queue drains. It panics after maxSteps
@@ -228,11 +406,17 @@ func (s *Simulator) freeNode(id int32) {
 	s.free = append(s.free, id)
 }
 
-// less orders arena indices by (time, seq).
+// less orders arena indices by (time, sched, seq). For events scheduled
+// through At/After the sched stamp is nondecreasing in seq (the clock
+// never runs backwards), so this order coincides with the historical
+// (time, seq) order; the stamp only matters for AtStamped injections.
 func (s *Simulator) less(a, b int32) bool {
 	na, nb := &s.nodes[a], &s.nodes[b]
 	if na.time != nb.time {
 		return na.time < nb.time
+	}
+	if na.sched != nb.sched {
+		return na.sched < nb.sched
 	}
 	return na.seq < nb.seq
 }

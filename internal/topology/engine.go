@@ -1,0 +1,590 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"bufqos/internal/core"
+	"bufqos/internal/metrics"
+	"bufqos/internal/network"
+	"bufqos/internal/packet"
+	"bufqos/internal/sched"
+	"bufqos/internal/scheme"
+	"bufqos/internal/shard"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// admissionPlan is the precomputed outcome of every admission decision
+// of a scenario. Admission depends only on the ordered join/leave
+// sequence and the declared FlowSpecs — never on simulated traffic — so
+// it can be replayed sequentially before the run starts. That makes the
+// outcomes (and the Rejections order) independent of how the links are
+// partitioned across shards.
+type admissionPlan struct {
+	admitted []bool
+	joinAt   []float64
+	leaveAt  []float64
+	left     []bool
+	// rejections are in decision order: implicit joins in flow order at
+	// t=0, then timeline events in their sorted order — exactly the
+	// order a single event kernel dispatches them in.
+	rejections []Rejection
+}
+
+// planAdmission replays the scenario's join/leave sequence through the
+// paper's admission regions.
+func planAdmission(t *Topology, duration float64) *admissionPlan {
+	p := &admissionPlan{
+		admitted: make([]bool, len(t.Flows)),
+		joinAt:   make([]float64, len(t.Flows)),
+		leaveAt:  make([]float64, len(t.Flows)),
+		left:     make([]bool, len(t.Flows)),
+	}
+	for fi := range p.leaveAt {
+		p.leaveAt[fi] = duration
+	}
+	ctrl := make([]*core.AdmissionController, len(t.Links))
+	for li := range t.Links {
+		l := &t.Links[li]
+		ctrl[li] = core.NewAdmissionController(discipline(l), l.Rate, l.Buffer)
+	}
+	join := func(fi int, at float64) {
+		f := &t.Flows[fi]
+		p.joinAt[fi] = at
+		for _, li := range f.Route {
+			if reason := ctrl[li].Check(f.Spec); reason != core.Accepted {
+				p.rejections = append(p.rejections, Rejection{
+					Flow:   f.Name,
+					Link:   t.Links[li].Name,
+					At:     at,
+					Reason: reason,
+				})
+				return
+			}
+		}
+		for _, li := range f.Route {
+			ctrl[li].Admit(f.Spec)
+		}
+		p.admitted[fi] = true
+	}
+	for fi := range t.Flows {
+		if _, has := t.JoinTime(fi); !has {
+			join(fi, 0)
+		}
+	}
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case EventJoin:
+			join(ev.flow, ev.At)
+		case EventLeave:
+			p.left[ev.flow] = true
+			p.leaveAt[ev.flow] = ev.At
+			if !p.admitted[ev.flow] {
+				continue
+			}
+			for _, li := range t.Flows[ev.flow].Route {
+				ctrl[li].Release(t.Flows[ev.flow].Spec)
+			}
+		}
+	}
+	return p
+}
+
+// crossing is one packet handed between shards at a window barrier.
+type crossing struct {
+	p       *packet.Packet
+	dstLink int32
+	// srcLink and flow (global id) break residual (Time, Sched) ties
+	// deterministically.
+	srcLink int32
+	flow    int32
+}
+
+// engineLink is one link's data plane plus its shard placement.
+type engineLink struct {
+	topoIdx int
+	shard   int
+	link    *sched.Link
+	col     *stats.Collector
+	// flows maps the link's data-plane flow index to the global flow id.
+	// Nil when the link runs with global ids (population-sensitive
+	// scheme, or no traversing flows).
+	flows []int32
+	// forwarded counts packets handed onward (next hop or delivery),
+	// indexed like the data plane.
+	forwarded []int64
+	prop      float64
+}
+
+// engineShard is one shard's kernel and its per-window outbox.
+type engineShard struct {
+	s        *sim.Simulator
+	delivery *network.Delivery
+	outbox   []shard.Item[crossing]
+}
+
+// engine executes one scenario across 1..N shards with bit-identical
+// results. The single-shard case runs through the same machinery (one
+// worker, an always-empty outbox), so there is exactly one semantics.
+type engine struct {
+	topo   *Topology
+	opts   Options
+	ft     *FlowTable
+	plan   *admissionPlan
+	part   shard.Partition
+	edges  []shard.Edge
+	links  []*engineLink
+	shards []*engineShard
+	// hopEntry is aligned with FlowTable.RouteLink: the data-plane flow
+	// id a packet must carry at that hop (link-local, or global for
+	// unmapped links).
+	hopEntry []int32
+	sources  []stopper
+	res      *Result
+}
+
+// buildEdges derives the partitioner's input from route adjacency: one
+// edge per ordered pair of consecutive links on any route, weighted by
+// how many flows make that hop, with lookahead = upstream propagation
+// delay. The edge list is sorted so the partition is deterministic.
+func buildEdges(t *Topology, ft *FlowTable) []shard.Edge {
+	type key struct{ a, b int32 }
+	counts := map[key]int64{}
+	for fi := range t.Flows {
+		off, end := ft.RouteOff[fi], ft.RouteOff[fi+1]
+		for i := off; i+1 < end; i++ {
+			counts[key{ft.RouteLink[i], ft.RouteLink[i+1]}]++
+		}
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	edges := make([]shard.Edge, 0, len(keys))
+	for _, k := range keys {
+		edges = append(edges, shard.Edge{
+			From:      int(k.a),
+			To:        int(k.b),
+			Lookahead: t.Links[k.a].PropDelay,
+			Weight:    counts[k],
+		})
+	}
+	return edges
+}
+
+// newEngine plans and wires one run. It does everything up to (not
+// including) starting the clock.
+func newEngine(t *Topology, opts Options) (*engine, error) {
+	e := &engine{
+		topo:    t,
+		opts:    opts,
+		ft:      NewFlowTable(t),
+		sources: make([]stopper, len(t.Flows)),
+		res: &Result{
+			Topology: t.Name,
+			Duration: opts.Duration,
+			Seed:     opts.Seed,
+			Flows:    make([]FlowResult, len(t.Flows)),
+		},
+	}
+	e.plan = planAdmission(t, opts.Duration)
+	e.res.Rejections = e.plan.rejections
+
+	nshards := opts.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	weight := make([]int64, len(t.Links))
+	for li := range t.Links {
+		weight[li] = int64(len(e.ft.LinkFlows[li]))
+	}
+	e.edges = buildEdges(t, e.ft)
+	e.part = shard.Compute(len(t.Links), nshards, e.edges, weight)
+
+	deg := degradedLinks(t)
+	for fi := range t.Flows {
+		fr := &e.res.Flows[fi]
+		fr.Name = t.Flows[fi].Name
+		fr.Admitted = e.plan.admitted[fi]
+		fr.JoinAt = e.plan.joinAt[fi]
+		fr.LeaveAt = e.plan.leaveAt[fi]
+		fr.Left = e.plan.left[fi]
+		for _, li := range t.Flows[fi].Route {
+			if deg[li] {
+				fr.Degraded = true
+			}
+		}
+	}
+
+	// Per-shard kernels, pre-sized: each source holds at most a few
+	// pending events, each link one transmission plus one propagation.
+	e.shards = make([]*engineShard, e.part.N)
+	ownedHops := make([]int, e.part.N)
+	for li := range t.Links {
+		ownedHops[e.part.Assign[li]] += len(e.ft.LinkFlows[li])
+	}
+	for i := range e.shards {
+		s := sim.New()
+		if opts.Metrics != nil {
+			s.Instrument(opts.Metrics)
+		}
+		s.Reserve(4*ownedHops[i] + 256)
+		e.shards[i] = &engineShard{
+			s:        s,
+			delivery: network.NewDeliveryLight(s, len(t.Flows)),
+		}
+	}
+
+	specs := t.Specs()
+	e.links = make([]*engineLink, len(t.Links))
+	for li := range t.Links {
+		l := &t.Links[li]
+		sh := e.part.Assign[li]
+		es := e.shards[sh]
+		locals := e.ft.LinkFlows[li]
+		seed := sim.DeriveSeed(opts.Seed, linkSeedBase+li)
+		var cfg scheme.Config
+		var flows []int32
+		if l.scheme.PopulationSensitive() || len(locals) == 0 {
+			// Population-sensitive schemes (and links no flow traverses,
+			// whose builders reject an empty population) keep the global
+			// flow indexing.
+			cfg = l.schemeConfig(specs, seed)
+		} else {
+			localSpecs := make([]packet.FlowSpec, len(locals))
+			for k, g := range locals {
+				localSpecs[k] = specs[g]
+			}
+			cfg = scheme.Config{
+				Specs:    localSpecs,
+				LinkRate: l.Rate,
+				Buffer:   l.Buffer,
+				Headroom: l.Headroom,
+				Seed:     seed,
+			}
+			flows = locals
+		}
+		cfg.Now = es.s.Now
+		nflows := len(cfg.Specs)
+		col := stats.NewCollector(nflows, 0)
+		mgr, sc, err := l.scheme.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("topology %s: link %s: %w", t.Name, l.Name, err)
+		}
+		lk := sched.NewLink(es.s, l.Rate, sc, mgr, col)
+		if opts.Metrics != nil {
+			lk.Instrument(opts.Metrics, l.Spec)
+		}
+		el := &engineLink{
+			topoIdx:   li,
+			shard:     sh,
+			link:      lk,
+			col:       col,
+			flows:     flows,
+			forwarded: make([]int64, nflows),
+			prop:      l.PropDelay,
+		}
+		lk.OnDepart = e.forwardFrom(el)
+		e.links[li] = el
+	}
+
+	// Data-plane flow ids per route hop.
+	e.hopEntry = make([]int32, len(e.ft.RouteLink))
+	for fi := range t.Flows {
+		for i := e.ft.RouteOff[fi]; i < e.ft.RouteOff[fi+1]; i++ {
+			if e.links[e.ft.RouteLink[i]].flows == nil {
+				e.hopEntry[i] = int32(fi)
+			} else {
+				e.hopEntry[i] = e.ft.RouteLocal[i]
+			}
+		}
+	}
+
+	// Schedule the scenario in the plan's decision order, each action on
+	// the shard owning its flow's first link (sources) or its link.
+	for fi := range t.Flows {
+		if _, has := t.JoinTime(fi); !has && e.plan.admitted[fi] {
+			fi := fi
+			es := e.shardOfFlow(fi)
+			es.s.At(0, func() { e.startSource(fi) })
+		}
+	}
+	for i := range t.Events {
+		ev := t.Events[i]
+		switch ev.Kind {
+		case EventJoin:
+			if !e.plan.admitted[ev.flow] {
+				continue
+			}
+			es := e.shardOfFlow(ev.flow)
+			es.s.At(ev.At, func() { e.startSource(ev.flow) })
+		case EventLeave:
+			if !e.plan.admitted[ev.flow] {
+				continue
+			}
+			es := e.shardOfFlow(ev.flow)
+			es.s.At(ev.At, func() {
+				if src := e.sources[ev.flow]; src != nil {
+					src.Stop()
+				}
+			})
+		case EventRate:
+			el := e.links[ev.link]
+			e.shards[el.shard].s.At(ev.At, func() { el.link.SetRate(ev.Rate) })
+		case EventFail:
+			el := e.links[ev.link]
+			e.shards[el.shard].s.At(ev.At, func() { el.link.SetDown(true) })
+		case EventRecover:
+			el := e.links[ev.link]
+			e.shards[el.shard].s.At(ev.At, func() { el.link.SetDown(false) })
+		}
+	}
+	return e, nil
+}
+
+func (e *engine) shardOfFlow(fi int) *engineShard {
+	return e.shards[e.part.Assign[e.topo.Flows[fi].Route[0]]]
+}
+
+// forwardFrom builds el's OnDepart hook: translate the departing
+// packet's data-plane id back to the global flow, advance the hop, and
+// hand the packet to the next link (same shard: direct or After; other
+// shard: outbox item for the barrier exchange) or the delivery sink
+// (always local — a flow terminates on its last link's shard).
+func (e *engine) forwardFrom(el *engineLink) func(p *packet.Packet) {
+	es := e.shards[el.shard]
+	ft := e.ft
+	return func(p *packet.Packet) {
+		el.forwarded[p.Flow]++
+		g := int32(p.Flow)
+		if el.flows != nil {
+			g = el.flows[p.Flow]
+		}
+		idx := ft.RouteOff[g] + p.Hop + 1
+		if idx >= ft.RouteOff[g+1] {
+			p.Flow = int(g)
+			if el.prop == 0 {
+				p.Arrived = es.s.Now()
+				es.delivery.Receive(p)
+				return
+			}
+			es.s.After(el.prop, func() {
+				p.Arrived = es.s.Now()
+				es.delivery.Receive(p)
+			})
+			return
+		}
+		p.Hop++
+		p.Flow = int(e.hopEntry[idx])
+		dst := e.links[ft.RouteLink[idx]]
+		if dst.shard == el.shard {
+			if el.prop == 0 {
+				p.Arrived = es.s.Now()
+				dst.link.Receive(p)
+				return
+			}
+			es.s.After(el.prop, func() {
+				p.Arrived = es.s.Now()
+				dst.link.Receive(p)
+			})
+			return
+		}
+		// The partitioner colocates zero-lookahead edges, so a crossing
+		// always has prop > 0 and lands at least one window ahead.
+		now := es.s.Now()
+		es.outbox = append(es.outbox, shard.Item[crossing]{
+			Dst:   dst.shard,
+			Time:  now + el.prop,
+			Sched: now,
+			Load:  crossing{p: p, dstLink: int32(dst.topoIdx), srcLink: int32(el.topoIdx), flow: g},
+		})
+	}
+}
+
+// startSource assembles one admitted flow's generator chain into its
+// first hop: source → (shaper) → offered counter → hop-0 localizer →
+// link.
+func (e *engine) startSource(fi int) {
+	f := &e.topo.Flows[fi]
+	el := e.links[f.Route[0]]
+	es := e.shards[el.shard]
+	entryID := int(e.hopEntry[e.ft.RouteOff[fi]])
+	localize := source.SinkFunc(func(p *packet.Packet) {
+		p.Hop = 0
+		p.Flow = entryID
+		el.link.Receive(p)
+	})
+	entry := source.Sink(countingSink{inner: localize, count: &e.res.Flows[fi].Offered})
+	if f.Shaped {
+		entry = source.NewShaper(es.s, f.Spec, entry)
+	}
+	var src stopper
+	switch f.Source {
+	case SourceGreedy:
+		// Saturate the shaper at the peak rate (or the first link's rate
+		// when no peak is declared): the shaper output then follows the
+		// (σ, ρ) envelope exactly.
+		feed := f.Spec.PeakRate
+		if feed <= 0 {
+			feed = e.topo.Links[f.Route[0]].Rate
+		}
+		src = source.NewSaturating(es.s, fi, f.PacketSize, feed, entry)
+	case SourceCBR:
+		src = source.NewCBR(es.s, fi, f.PacketSize, f.AvgRate, entry)
+	default: // SourceOnOff, enforced by Validate
+		rng := sim.NewRand(sim.DeriveSeed(e.opts.Seed, fi))
+		src = source.NewOnOff(es.s, rng, source.OnOffConfig{
+			Flow:       fi,
+			PacketSize: f.PacketSize,
+			PeakRate:   f.Spec.PeakRate,
+			AvgRate:    f.AvgRate,
+			MeanBurst:  f.MeanBurst,
+		}, entry)
+	}
+	e.sources[fi] = src
+	src.Start()
+}
+
+// run drives the shards through the conservative window schedule and
+// collects the results.
+func (e *engine) run(ctx context.Context) (Result, error) {
+	cfg := shard.Config{
+		Shards:  e.part.N,
+		Window:  e.part.Window,
+		Horizon: e.opts.Duration,
+		// Cap the window so a single-shard (or long-lookahead) run stays
+		// cancellable, mirroring the 64-chunk pattern the experiment
+		// runner uses. Window subdivision never changes results.
+		MinWindows: 64,
+	}
+	runFn := func(i int, limit float64, final bool) []shard.Item[crossing] {
+		es := e.shards[i]
+		es.outbox = es.outbox[:0]
+		if final {
+			es.s.RunUntil(limit)
+		} else {
+			es.s.RunBefore(limit)
+		}
+		return es.outbox
+	}
+	inject := func(d int, items []shard.Item[crossing]) {
+		es := e.shards[d]
+		for _, it := range items {
+			p, dst := it.Load.p, e.links[it.Load.dstLink]
+			es.s.AtStamped(it.Time, it.Sched, func() {
+				p.Arrived = es.s.Now()
+				dst.link.Receive(p)
+			})
+		}
+	}
+	tieLess := func(a, b crossing) bool {
+		if a.srcLink != b.srcLink {
+			return a.srcLink < b.srcLink
+		}
+		if a.flow != b.flow {
+			return a.flow < b.flow
+		}
+		return a.p.Seq < b.p.Seq
+	}
+	st, err := shard.Run(ctx, cfg, runFn, inject, tieLess)
+	if err != nil {
+		return Result{}, err
+	}
+	e.report(st)
+	e.collect()
+	return *e.res, nil
+}
+
+// report publishes per-shard synchronization metrics.
+func (e *engine) report(st shard.Stats) {
+	reg := e.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("shard.windows").Add(int64(st.Windows))
+	for i, es := range e.shards {
+		reg.Counter(fmt.Sprintf("shard.events.%d", i)).Add(int64(es.s.Steps()))
+		reg.Counter(fmt.Sprintf("shard.null_bundles.%d", i)).Add(st.NullBundles[i])
+		reg.Counter(fmt.Sprintf("shard.exchanged.%d", i)).Add(st.Exchanged[i])
+		reg.Counter(fmt.Sprintf("shard.stalls.%d", i)).Add(st.Stalls[i])
+	}
+	// Lookahead histogram over the realized cut, in microseconds.
+	h := reg.Histogram("shard.cut_lookahead_us", metrics.ExpBuckets(1, 4, 12))
+	for _, ed := range e.edges {
+		if e.part.Assign[ed.From] != e.part.Assign[ed.To] {
+			h.Observe(ed.Lookahead * 1e6)
+		}
+	}
+}
+
+// collect folds the per-shard collectors and delivery sinks into the
+// Result.
+func (e *engine) collect() {
+	t := e.topo
+	for li := range t.Links {
+		el := e.links[li]
+		lr := LinkResult{Name: t.Links[li].Name}
+		n := el.col.NumFlows()
+		for k := 0; k < n; k++ {
+			fs := el.col.Flow(k)
+			addCounter(&lr.Totals.Offered, fs.Offered.Total())
+			addCounter(&lr.Totals.Dropped, fs.Dropped.Total())
+			addCounter(&lr.Totals.ConformantDropped, fs.Dropped.Conformant)
+			addCounter(&lr.Totals.Departed, fs.Departed.Total())
+			lr.Totals.Forwarded += el.forwarded[k]
+		}
+		if !e.opts.SkipLinkFlows {
+			lr.Flows = make([]LinkFlow, len(t.Flows))
+			for k := 0; k < n; k++ {
+				g := k
+				if el.flows != nil {
+					g = int(el.flows[k])
+				}
+				fs := el.col.Flow(k)
+				lr.Flows[g] = LinkFlow{
+					Offered:           fs.Offered.Total(),
+					Dropped:           fs.Dropped.Total(),
+					ConformantDropped: fs.Dropped.Conformant,
+					Departed:          fs.Departed.Total(),
+					Forwarded:         el.forwarded[k],
+				}
+			}
+		}
+		lr.Utilization = lr.Totals.Departed.Bytes.Bits() / (t.Links[li].Rate.BitsPerSecond() * e.opts.Duration)
+		e.res.Links = append(e.res.Links, lr)
+	}
+	for fi := range t.Flows {
+		fr := &e.res.Flows[fi]
+		// A flow delivers on exactly one shard: its last link's.
+		route := t.Flows[fi].Route
+		d := e.shards[e.part.Assign[route[len(route)-1]]].delivery
+		fr.Delivered = stats.Counter{
+			Packets: d.Packets(fi),
+			Bytes:   d.Bytes(fi),
+		}
+		if active := fr.LeaveAt - fr.JoinAt; active > 0 {
+			fr.Throughput = units.Rate(fr.Delivered.Bytes.Bits() / active)
+		}
+		fr.MeanDelay = d.MeanDelay(fi)
+		fr.MaxDelay = d.MaxDelay(fi)
+	}
+	for _, es := range e.shards {
+		e.res.Events += es.s.Steps()
+	}
+}
+
+// addCounter folds one counter into an aggregate.
+func addCounter(dst *stats.Counter, o stats.Counter) {
+	dst.Packets += o.Packets
+	dst.Bytes += o.Bytes
+}

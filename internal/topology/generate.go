@@ -1,0 +1,311 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"bufqos/internal/sim"
+	"bufqos/internal/units"
+)
+
+// Generate builds a synthetic, validated scenario from a compact spec
+// string of the form
+//
+//	kind?key=value,key=value,...
+//
+// Three kinds cover the shapes the sharded engine cares about:
+//
+//   - "line": a chain of links; flows ride random contiguous segments.
+//     Keys: links (default 8), flows (default 32).
+//   - "fattree": a 3-tier k-ary fat tree (every physical cable is a
+//     pair of directed links); flows route edge→agg→core→agg→edge.
+//     Keys: k (default 4, must be even ≥ 2), flows (default 64).
+//     k=4 yields the canonical 64-link instance.
+//   - "random": a directed ring plus random chords; flows ride short
+//     random walks. Keys: links (default 64), flows (default 256).
+//
+// Common keys: seed (default 1) drives every random choice, util
+// (default 0.7) sets the provisioned utilization ceiling. Generation is
+// deterministic: the same spec always yields the same topology.
+//
+// Link capacities and buffers are provisioned after routing so that
+// admission accepts every flow: each link gets Rate = Σρ/util and
+// Buffer = 4·Σσ, which satisfies the FIFO region B·(1−Σρ/R) ≥ Σσ
+// whenever util ≤ 0.7 (4·0.3 = 1.2 > 1). Propagation delays are
+// randomized in [1ms, 5ms], so a sharded run always has healthy
+// lookahead on cut links.
+func Generate(spec string) (*Topology, error) {
+	p, err := parseGenSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRand(p.seed)
+	var t *Topology
+	switch p.kind {
+	case "line":
+		t = genLine(p, rng)
+	case "fattree":
+		t = genFatTree(p, rng)
+	case "random":
+		t = genRandom(p, rng)
+	default:
+		return nil, fmt.Errorf("topology: unknown generator kind %q (want line, fattree, or random)", p.kind)
+	}
+	t.Name = spec
+	provision(t, p.util, rng)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: generated %q invalid: %w", spec, err)
+	}
+	return t, nil
+}
+
+type genParams struct {
+	kind  string
+	links int
+	flows int
+	k     int
+	seed  int64
+	util  float64
+}
+
+func parseGenSpec(spec string) (genParams, error) {
+	p := genParams{seed: 1, util: 0.7}
+	kind, rest, _ := strings.Cut(spec, "?")
+	p.kind = kind
+	switch kind {
+	case "line":
+		p.links, p.flows = 8, 32
+	case "fattree":
+		p.k, p.flows = 4, 64
+	case "random":
+		p.links, p.flows = 64, 256
+	}
+	if rest == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p, fmt.Errorf("topology: generator spec %q: malformed parameter %q (want key=value)", spec, kv)
+		}
+		switch key {
+		case "links", "flows", "k":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return p, fmt.Errorf("topology: generator spec %q: %s must be a positive integer, got %q", spec, key, val)
+			}
+			switch key {
+			case "links":
+				p.links = n
+			case "flows":
+				p.flows = n
+			case "k":
+				p.k = n
+			}
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("topology: generator spec %q: bad seed %q", spec, val)
+			}
+			p.seed = n
+		case "util":
+			u, err := strconv.ParseFloat(val, 64)
+			if err != nil || u <= 0 || u > 0.7 {
+				return p, fmt.Errorf("topology: generator spec %q: util must be in (0, 0.7], got %q", spec, val)
+			}
+			p.util = u
+		default:
+			return p, fmt.Errorf("topology: generator spec %q: unknown parameter %q", spec, key)
+		}
+	}
+	if p.kind == "fattree" && (p.k < 2 || p.k%2 != 0) {
+		return p, fmt.Errorf("topology: generator spec %q: fat-tree arity k=%d must be even and ≥ 2", spec, p.k)
+	}
+	return p, nil
+}
+
+// genLine chains links n0→n1→…→nL; each flow rides a random contiguous
+// segment of one to four hops.
+func genLine(p genParams, rng *rand.Rand) *Topology {
+	t := &Topology{Description: "generated line"}
+	node := func(i int) string { return fmt.Sprintf("n%d", i) }
+	for i := 0; i < p.links; i++ {
+		t.Links = append(t.Links, Link{From: node(i), To: node(i + 1)})
+	}
+	for f := 0; f < p.flows; f++ {
+		hops := 1 + rng.Intn(min(p.links, 4))
+		start := rng.Intn(p.links - hops + 1)
+		var route []string
+		for i := start; i <= start+hops; i++ {
+			route = append(route, node(i))
+		}
+		t.Flows = append(t.Flows, randomFlow(f, route, rng))
+	}
+	return t
+}
+
+// genFatTree builds the classic 3-tier k-ary fat tree: (k/2)² core
+// switches, k pods of k/2 aggregation and k/2 edge switches. Every
+// cable is two directed links. Aggregation switch j of every pod
+// connects to cores [j·k/2, (j+1)·k/2), so a core reaches the
+// same-index aggregation switch in every pod — routes go up
+// edge→agg→core and down core→agg→edge deterministically.
+func genFatTree(p genParams, rng *rand.Rand) *Topology {
+	t := &Topology{Description: "generated fat tree"}
+	k := p.k
+	half := k / 2
+	core := func(i int) string { return fmt.Sprintf("c%d", i) }
+	agg := func(pod, j int) string { return fmt.Sprintf("p%da%d", pod, j) }
+	edge := func(pod, j int) string { return fmt.Sprintf("p%de%d", pod, j) }
+	cable := func(a, b string) {
+		t.Links = append(t.Links, Link{From: a, To: b}, Link{From: b, To: a})
+	}
+	for pod := 0; pod < k; pod++ {
+		for j := 0; j < half; j++ {
+			for i := 0; i < half; i++ {
+				cable(edge(pod, j), agg(pod, i))
+			}
+			for c := 0; c < half; c++ {
+				cable(agg(pod, j), core(j*half+c))
+			}
+		}
+	}
+	for f := 0; f < p.flows; f++ {
+		sp, sj := rng.Intn(k), rng.Intn(half)
+		dp, dj := rng.Intn(k), rng.Intn(half)
+		for dp == sp && dj == sj {
+			dp, dj = rng.Intn(k), rng.Intn(half)
+		}
+		var route []string
+		a := rng.Intn(half)
+		if sp == dp {
+			route = []string{edge(sp, sj), agg(sp, a), edge(sp, dj)}
+		} else {
+			c := a*half + rng.Intn(half)
+			route = []string{edge(sp, sj), agg(sp, a), core(c), agg(dp, a), edge(dp, dj)}
+		}
+		t.Flows = append(t.Flows, randomFlow(f, route, rng))
+	}
+	return t
+}
+
+// genRandom builds a directed ring (guaranteeing every node an exit)
+// plus random non-duplicate chords up to the requested link count;
+// flows ride loop-free random walks of one to four hops.
+func genRandom(p genParams, rng *rand.Rand) *Topology {
+	t := &Topology{Description: "generated random graph"}
+	n := max(2, p.links/4)
+	for n*(n-1) < p.links {
+		n++
+	}
+	node := func(i int) string { return fmt.Sprintf("n%d", i) }
+	type edge struct{ from, to int }
+	edges := make([]edge, 0, p.links)
+	used := map[edge]bool{}
+	add := func(e edge) bool {
+		if e.from == e.to || used[e] {
+			return false
+		}
+		used[e] = true
+		edges = append(edges, e)
+		return true
+	}
+	for i := 0; i < n && len(edges) < p.links; i++ {
+		add(edge{i, (i + 1) % n})
+	}
+	for tries := 0; len(edges) < p.links && tries < 100*p.links; tries++ {
+		add(edge{rng.Intn(n), rng.Intn(n)})
+	}
+	for from := 0; len(edges) < p.links; from++ {
+		// Sampling stalled near saturation; sweep deterministically.
+		for to := 0; to < n && len(edges) < p.links; to++ {
+			add(edge{from % n, to})
+		}
+	}
+	out := make([][]int, n)
+	for _, e := range edges {
+		t.Links = append(t.Links, Link{From: node(e.from), To: node(e.to)})
+		out[e.from] = append(out[e.from], e.to)
+	}
+	for f := 0; f < p.flows; f++ {
+		at := rng.Intn(n)
+		route := []string{node(at)}
+		visited := map[int]bool{at: true}
+		hops := 1 + rng.Intn(4)
+		for h := 0; h < hops; h++ {
+			var next []int
+			for _, to := range out[at] {
+				if !visited[to] {
+					next = append(next, to)
+				}
+			}
+			if len(next) == 0 {
+				break
+			}
+			at = next[rng.Intn(len(next))]
+			visited[at] = true
+			route = append(route, node(at))
+		}
+		if len(route) < 2 {
+			// Every node has a ring successor; the walk can only wedge
+			// after at least one hop, so this is unreachable — but keep
+			// the flow valid regardless.
+			route = append(route, node((at+1)%n))
+		}
+		t.Flows = append(t.Flows, randomFlow(f, route, rng))
+	}
+	return t
+}
+
+// randomFlow draws one flow's contract: ρ ∈ [0.5, 2] Mb/s, σ ∈ [5, 20]
+// KB, all shaped so Verify has a conformance contract to check. Four in
+// five flows are CBR at exactly ρ (sustained, so reserved throughput is
+// asserted); the rest are greedy, saturating their envelope.
+func randomFlow(id int, route []string, rng *rand.Rand) Flow {
+	f := Flow{
+		Name:       fmt.Sprintf("flow%d", id),
+		RouteNodes: route,
+		Shaped:     true,
+		Source:     SourceCBR,
+	}
+	f.Spec.TokenRate = units.MbitsPerSecond(0.5 + 1.5*rng.Float64())
+	f.Spec.BucketSize = units.KiloBytes(5 + 15*rng.Float64())
+	// Declare a peak at 3ρ: a greedy source saturates its shaper at the
+	// peak rate, and leaving it unset would have it offer at the first
+	// link's capacity — which provisioning grows with the population, so
+	// source event rates (and simulation cost) would scale quadratically
+	// in the flow count.
+	f.Spec.PeakRate = 3 * f.Spec.TokenRate
+	if rng.Intn(5) == 0 {
+		f.Source = SourceGreedy
+	}
+	return f
+}
+
+// provision sizes every link after routing: Rate = Σρ/util and
+// Buffer = 4·Σσ over the traversing flows keep the whole population
+// inside the FIFO admission region (see Generate). Flowless links get
+// nominal capacity. Propagation delays are uniform in [1ms, 5ms].
+func provision(t *Topology, util float64, rng *rand.Rand) {
+	rho := make([]float64, len(t.Links))
+	sigma := make([]units.Bytes, len(t.Links))
+	byEdge := map[string]int{}
+	for i, l := range t.Links {
+		byEdge[l.From+"->"+l.To] = i
+	}
+	for _, f := range t.Flows {
+		for h := 0; h+1 < len(f.RouteNodes); h++ {
+			li := byEdge[f.RouteNodes[h]+"->"+f.RouteNodes[h+1]]
+			rho[li] += f.Spec.TokenRate.BitsPerSecond()
+			sigma[li] += f.Spec.BucketSize
+		}
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		l.Rate = max(units.Rate(rho[i]/util), 5*units.Mbps)
+		l.Buffer = max(4*sigma[i], units.KiloBytes(50))
+		l.PropDelay = 0.001 + 0.004*rng.Float64()
+	}
+}

@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range []string{"line", "fattree", "random?links=40,flows=100,seed=9"} {
+		a, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		b, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two generations differ", spec)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cases := []struct {
+		spec         string
+		links, flows int
+	}{
+		{"line?links=10,flows=5", 10, 5},
+		{"fattree", 64, 64}, // k=4: 16 cables in pods + 16 to cores, ×2 directions
+		{"fattree?k=2,flows=7", 8, 7},
+		{"random?links=30,flows=12", 30, 12},
+	}
+	for _, c := range cases {
+		tp, err := Generate(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if len(tp.Links) != c.links || len(tp.Flows) != c.flows {
+			t.Errorf("%s: got %d links %d flows, want %d/%d",
+				c.spec, len(tp.Links), len(tp.Flows), c.links, c.flows)
+		}
+		for i := range tp.Links {
+			if tp.Links[i].PropDelay < 0.001 {
+				t.Errorf("%s: link %s propagation delay %v below 1ms floor",
+					c.spec, tp.Links[i].Name, tp.Links[i].PropDelay)
+			}
+		}
+	}
+}
+
+// TestGenerateAdmitsAll is the provisioning contract: Rate = Σρ/util
+// and Buffer = 4Σσ must keep every generated flow inside the FIFO
+// admission region at every hop.
+func TestGenerateAdmitsAll(t *testing.T) {
+	tp, err := Generate("random?links=50,flows=500,seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), tp, Options{Duration: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejections) != 0 {
+		t.Fatalf("got %d rejections, want 0 (first: %+v)", len(res.Rejections), res.Rejections[0])
+	}
+	for i := range res.Flows {
+		if !res.Flows[i].Admitted {
+			t.Fatalf("flow %s not admitted", res.Flows[i].Name)
+		}
+	}
+}
+
+func TestGenerateSpecErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"mesh", "unknown generator kind"},
+		{"line?links", "malformed parameter"},
+		{"line?links=0", "positive integer"},
+		{"line?depth=3", "unknown parameter"},
+		{"random?util=0.9", "util must be in"},
+		{"fattree?k=3", "must be even"},
+	}
+	for _, c := range cases {
+		if _, err := Generate(c.spec); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Generate(%q) error = %v, want containing %q", c.spec, err, c.want)
+		}
+	}
+}

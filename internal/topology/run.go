@@ -7,9 +7,7 @@ import (
 	"bufqos/internal/core"
 	"bufqos/internal/experiment"
 	"bufqos/internal/metrics"
-	"bufqos/internal/network"
 	"bufqos/internal/packet"
-	"bufqos/internal/sim"
 	"bufqos/internal/source"
 	"bufqos/internal/stats"
 	"bufqos/internal/units"
@@ -30,6 +28,19 @@ type Options struct {
 	// Metrics, when non-nil, receives kernel and per-link counters. It
 	// may be shared across concurrent runs.
 	Metrics *metrics.Registry
+	// Shards partitions the link graph into up to this many groups,
+	// each driven by its own event kernel on its own goroutine with
+	// conservative lookahead synchronization (see internal/shard).
+	// Results are bit-identical for every value; 0 and 1 mean
+	// single-shard. The effective count is clamped to the number of
+	// zero-propagation-delay link groups.
+	Shards int
+	// SkipLinkFlows leaves LinkResult.Flows nil, keeping only the
+	// always-populated Totals. With L links and F flows the per-link
+	// flow tables cost O(L·F) memory in the Result — prohibitive at
+	// 10³ links × 10⁵ flows — while Totals stay O(L). Verify skips its
+	// per-link per-flow assertions when the tables are absent.
+	SkipLinkFlows bool
 }
 
 // Rejection records one admission denial: the flow, the first link on
@@ -49,36 +60,39 @@ type LinkFlow struct {
 	ConformantDropped stats.Counter
 	Departed          stats.Counter
 	// Forwarded counts packets handed to the next hop (or the delivery
-	// sink) — the network.Router diagnostic.
+	// sink).
 	Forwarded int64
+}
+
+// LinkTotals aggregates one link's counters across all flows. Unlike
+// the per-flow tables, totals are always populated (see
+// Options.SkipLinkFlows).
+type LinkTotals struct {
+	Offered           stats.Counter
+	Dropped           stats.Counter
+	ConformantDropped stats.Counter
+	Departed          stats.Counter
+	Forwarded         int64
 }
 
 // LinkResult aggregates one link over a run.
 type LinkResult struct {
-	Name  string
+	Name string
+	// Flows holds per-flow counters indexed by global flow id; nil when
+	// the run used Options.SkipLinkFlows.
 	Flows []LinkFlow
+	// Totals aggregates the same counters across all flows.
+	Totals LinkTotals
 	// Utilization is departed bits over capacity·duration, computed
 	// against the link's declared (initial) rate.
 	Utilization float64
 }
 
 // Departed sums the link's transmitted bytes across flows.
-func (l *LinkResult) Departed() units.Bytes {
-	var total units.Bytes
-	for _, f := range l.Flows {
-		total += f.Departed.Bytes
-	}
-	return total
-}
+func (l *LinkResult) Departed() units.Bytes { return l.Totals.Departed.Bytes }
 
 // DroppedPackets sums the link's drops across flows.
-func (l *LinkResult) DroppedPackets() int64 {
-	var total int64
-	for _, f := range l.Flows {
-		total += f.Dropped.Packets
-	}
-	return total
-}
+func (l *LinkResult) DroppedPackets() int64 { return l.Totals.Dropped.Packets }
 
 // FlowResult is one flow's end-to-end outcome.
 type FlowResult struct {
@@ -117,6 +131,10 @@ type Result struct {
 	Flows      []FlowResult
 	Links      []LinkResult
 	Rejections []Rejection
+	// Events counts dispatched kernel events, summed across shards. It
+	// is invariant across shard counts: a cross-shard hand-off replaces
+	// exactly one propagation event.
+	Events uint64
 }
 
 // discipline maps a link's scheduler to the admission region it can
@@ -166,237 +184,19 @@ func (c countingSink) Receive(p *packet.Packet) {
 	c.inner.Receive(p)
 }
 
-// runner is the mutable state of one scenario execution.
-type runner struct {
-	topo      *Topology
-	opts      Options
-	s         *sim.Simulator
-	routers   []*network.Router
-	cols      []*stats.Collector
-	delivery  *network.Delivery
-	admission []*core.AdmissionController
-	sources   []stopper // nil until joined and admitted
-	res       *Result
-}
-
 // Run executes one scenario and returns its measurements. ctx cancels
-// a run between chunks of simulated time; results are bit-identical
-// with and without a cancellable context, and across any worker count
-// when driven through RunMany.
+// a run between synchronization windows; results are bit-identical
+// with and without a cancellable context, across any worker count when
+// driven through RunMany, and across any Options.Shards value.
 func Run(ctx context.Context, t *Topology, opts Options) (Result, error) {
 	if opts.Duration <= 0 {
 		return Result{}, fmt.Errorf("topology %s: non-positive duration %v", t.Name, opts.Duration)
 	}
-	r := &runner{
-		topo: t,
-		opts: opts,
-		s:    sim.New(),
-		res: &Result{
-			Topology: t.Name,
-			Duration: opts.Duration,
-			Seed:     opts.Seed,
-			Flows:    make([]FlowResult, len(t.Flows)),
-		},
-	}
-	if opts.Metrics != nil {
-		r.s.Instrument(opts.Metrics)
-	}
-	specs := t.Specs()
-	r.delivery = network.NewDelivery(r.s, len(t.Flows))
-	for li := range t.Links {
-		l := &t.Links[li]
-		col := stats.NewCollector(len(t.Flows), 0)
-		cfg := l.schemeConfig(specs, sim.DeriveSeed(opts.Seed, linkSeedBase+li))
-		router, err := network.NewRouterSpec(r.s, l.Name, l.Spec, cfg, col, l.PropDelay)
-		if err != nil {
-			return Result{}, fmt.Errorf("topology %s: %w", t.Name, err)
-		}
-		if opts.Metrics != nil {
-			router.Link().Instrument(opts.Metrics, l.Spec)
-		}
-		r.routers = append(r.routers, router)
-		r.cols = append(r.cols, col)
-		r.admission = append(r.admission, core.NewAdmissionController(discipline(l), l.Rate, l.Buffer))
-	}
-	r.sources = make([]stopper, len(t.Flows))
-
-	deg := degradedLinks(t)
-	for fi := range t.Flows {
-		fr := &r.res.Flows[fi]
-		fr.Name = t.Flows[fi].Name
-		fr.LeaveAt = opts.Duration
-		for _, li := range t.Flows[fi].Route {
-			if deg[li] {
-				fr.Degraded = true
-			}
-		}
-	}
-
-	// Schedule the scenario: implicit joins first (declaration order),
-	// then the timeline in sorted order. The kernel breaks time ties by
-	// insertion sequence, so this ordering is deterministic.
-	for fi := range t.Flows {
-		if _, has := t.JoinTime(fi); !has {
-			fi := fi
-			r.s.At(0, func() { r.join(fi) })
-		}
-	}
-	for i := range t.Events {
-		ev := t.Events[i]
-		r.s.At(ev.At, func() { r.apply(ev) })
-	}
-
-	if err := runUntilCtx(ctx, r.s, opts.Duration); err != nil {
+	e, err := newEngine(t, opts)
+	if err != nil {
 		return Result{}, err
 	}
-	r.collect()
-	return *r.res, nil
-}
-
-// join runs admission for one flow across its whole route and, when
-// every hop accepts, wires the route and starts the source.
-func (r *runner) join(fi int) {
-	f := &r.topo.Flows[fi]
-	fr := &r.res.Flows[fi]
-	now := r.s.Now()
-	fr.JoinAt = now
-	for _, li := range f.Route {
-		if reason := r.admission[li].Check(f.Spec); reason != core.Accepted {
-			r.res.Rejections = append(r.res.Rejections, Rejection{
-				Flow:   f.Name,
-				Link:   r.topo.Links[li].Name,
-				At:     now,
-				Reason: reason,
-			})
-			return
-		}
-	}
-	for _, li := range f.Route {
-		r.admission[li].Admit(f.Spec)
-	}
-	fr.Admitted = true
-	for h, li := range f.Route {
-		next := source.Sink(r.delivery)
-		if h+1 < len(f.Route) {
-			next = r.routers[f.Route[h+1]]
-		}
-		r.routers[li].SetRoute(fi, next.Receive)
-	}
-	r.sources[fi] = r.buildSource(fi)
-	r.sources[fi].Start()
-}
-
-// buildSource assembles the flow's generator chain into its first hop,
-// with an offered-traffic counter (and, for shaped flows, the leaky
-// bucket) between them.
-func (r *runner) buildSource(fi int) stopper {
-	f := &r.topo.Flows[fi]
-	entry := source.Sink(countingSink{inner: r.routers[f.Route[0]], count: &r.res.Flows[fi].Offered})
-	if f.Shaped {
-		entry = source.NewShaper(r.s, f.Spec, entry)
-	}
-	switch f.Source {
-	case SourceGreedy:
-		// Saturate the shaper at the peak rate (or the first link's rate
-		// when no peak is declared): the shaper output then follows the
-		// (σ, ρ) envelope exactly.
-		feed := f.Spec.PeakRate
-		if feed <= 0 {
-			feed = r.topo.Links[f.Route[0]].Rate
-		}
-		return source.NewSaturating(r.s, fi, f.PacketSize, feed, entry)
-	case SourceCBR:
-		return source.NewCBR(r.s, fi, f.PacketSize, f.AvgRate, entry)
-	default: // SourceOnOff, enforced by Validate
-		rng := sim.NewRand(sim.DeriveSeed(r.opts.Seed, fi))
-		return source.NewOnOff(r.s, rng, source.OnOffConfig{
-			Flow:       fi,
-			PacketSize: f.PacketSize,
-			PeakRate:   f.Spec.PeakRate,
-			AvgRate:    f.AvgRate,
-			MeanBurst:  f.MeanBurst,
-		}, entry)
-	}
-}
-
-// apply executes one timeline event.
-func (r *runner) apply(ev Event) {
-	switch ev.Kind {
-	case EventJoin:
-		r.join(ev.flow)
-	case EventLeave:
-		fr := &r.res.Flows[ev.flow]
-		fr.Left = true
-		fr.LeaveAt = r.s.Now()
-		if !fr.Admitted {
-			return
-		}
-		if src := r.sources[ev.flow]; src != nil {
-			src.Stop()
-		}
-		// Reservations are released; routes stay wired so in-flight
-		// packets still deliver.
-		for _, li := range r.topo.Flows[ev.flow].Route {
-			r.admission[li].Release(r.topo.Flows[ev.flow].Spec)
-		}
-	case EventRate:
-		r.routers[ev.link].Link().SetRate(ev.Rate)
-	case EventFail:
-		r.routers[ev.link].Link().SetDown(true)
-	case EventRecover:
-		r.routers[ev.link].Link().SetDown(false)
-	}
-}
-
-// collect folds the collectors and the delivery sink into the Result.
-func (r *runner) collect() {
-	t := r.topo
-	for li := range t.Links {
-		lr := LinkResult{Name: t.Links[li].Name, Flows: make([]LinkFlow, len(t.Flows))}
-		for fi := range t.Flows {
-			fs := r.cols[li].Flow(fi)
-			lr.Flows[fi] = LinkFlow{
-				Offered:           fs.Offered.Total(),
-				Dropped:           fs.Dropped.Total(),
-				ConformantDropped: fs.Dropped.Conformant,
-				Departed:          fs.Departed.Total(),
-				Forwarded:         r.routers[li].Forwarded(fi),
-			}
-		}
-		lr.Utilization = lr.Departed().Bits() / (t.Links[li].Rate.BitsPerSecond() * r.opts.Duration)
-		r.res.Links = append(r.res.Links, lr)
-	}
-	for fi := range t.Flows {
-		fr := &r.res.Flows[fi]
-		fr.Delivered = stats.Counter{
-			Packets: r.delivery.Packets(fi),
-			Bytes:   r.delivery.Bytes(fi),
-		}
-		if active := fr.LeaveAt - fr.JoinAt; active > 0 {
-			fr.Throughput = units.Rate(fr.Delivered.Bytes.Bits() / active)
-		}
-		d := r.delivery.Delay(fi)
-		fr.MeanDelay = d.Mean()
-		fr.MaxDelay = d.Max()
-	}
-}
-
-// runUntilCtx advances the simulation to duration in 64 exact-fraction
-// chunks, checking ctx between them; results are bit-identical to an
-// unchunked RunUntil (the same pattern the experiment runner uses).
-func runUntilCtx(ctx context.Context, s *sim.Simulator, duration float64) error {
-	if ctx == nil || ctx.Done() == nil {
-		s.RunUntil(duration)
-		return nil
-	}
-	const chunks = 64
-	for i := 1; i <= chunks; i++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		s.RunUntil(duration * float64(i) / chunks)
-	}
-	return ctx.Err()
+	return e.run(ctx)
 }
 
 // RunMany executes runs independent replications — run r uses seed

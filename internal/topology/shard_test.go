@@ -1,0 +1,114 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardCases returns the equivalence corpus: every shipped scenario
+// file plus a generated 64-link fat tree.
+func shardCases(t *testing.T) map[string]*Topology {
+	t.Helper()
+	cases := map[string]*Topology{}
+	for _, name := range []string{"tandem3", "parkinglot", "churn"} {
+		tp, err := Load("../../topologies/" + name + ".json")
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		cases[name] = tp
+	}
+	gen, err := Generate("fattree?flows=96,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Links) != 64 {
+		t.Fatalf("generated fat tree has %d links, want 64", len(gen.Links))
+	}
+	cases["fattree64"] = gen
+	return cases
+}
+
+// TestShardEquivalence is the tentpole contract: for every scenario,
+// every shard count produces a Result bit-identical to the single-shard
+// run — same per-flow delay extrema, same per-link counters, same event
+// total, same Verify outcome.
+func TestShardEquivalence(t *testing.T) {
+	for name, tp := range shardCases(t) {
+		t.Run(name, func(t *testing.T) {
+			opts := Options{Duration: 2, Seed: 3}
+			base, err := Run(context.Background(), tp, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseVerify := verifySummary(tp, &base)
+			for _, shards := range []int{2, 4, 7} {
+				o := opts
+				o.Shards = shards
+				res, err := Run(context.Background(), tp, o)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				// MaxDelay is the sharpest determinism probe: one
+				// reordered or re-rounded hand-off anywhere shifts some
+				// packet's delivery instant and perturbs an extremum.
+				for fi := range base.Flows {
+					if res.Flows[fi].MaxDelay != base.Flows[fi].MaxDelay {
+						t.Errorf("shards=%d: flow %s MaxDelay %v != %v",
+							shards, base.Flows[fi].Name, res.Flows[fi].MaxDelay, base.Flows[fi].MaxDelay)
+					}
+				}
+				if res.Events != base.Events {
+					t.Errorf("shards=%d: %d events, want %d", shards, res.Events, base.Events)
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Errorf("shards=%d: Result differs from shards=1", shards)
+				}
+				if v := verifySummary(tp, &res); !reflect.DeepEqual(v, baseVerify) {
+					t.Errorf("shards=%d: Verify outcome differs:\n%v\nwant:\n%v", shards, v, baseVerify)
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceSkipLinkFlows checks that the light result mode
+// changes only the per-link flow tables: flow outcomes and link totals
+// stay bit-identical, across shard counts.
+func TestShardEquivalenceSkipLinkFlows(t *testing.T) {
+	tp, err := Generate("random?links=32,flows=64,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(context.Background(), tp, Options{Duration: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		light, err := Run(context.Background(), tp, Options{Duration: 1, Seed: 2, Shards: shards, SkipLinkFlows: true})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(light.Flows, full.Flows) {
+			t.Errorf("shards=%d: flow results differ from full mode", shards)
+		}
+		for li := range full.Links {
+			if light.Links[li].Flows != nil {
+				t.Errorf("shards=%d: link %s has per-flow tables despite SkipLinkFlows", shards, full.Links[li].Name)
+			}
+			if light.Links[li].Totals != full.Links[li].Totals {
+				t.Errorf("shards=%d: link %s totals differ from full mode", shards, full.Links[li].Name)
+			}
+		}
+	}
+}
+
+// verifySummary flattens Verify's assertions into comparable strings.
+func verifySummary(tp *Topology, res *Result) []string {
+	var out []string
+	for _, a := range Verify(tp, res) {
+		out = append(out, fmt.Sprintf("%s|%s|%v", a.Name, a.Detail, a.Err))
+	}
+	return out
+}

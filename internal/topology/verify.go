@@ -54,6 +54,9 @@ func Verify(t *Topology, res *Result) []report.Assertion {
 			continue // no conformance contract to verify
 		}
 		for _, li := range f.Route {
+			if res.Links[li].Flows == nil {
+				continue // run used Options.SkipLinkFlows; per-flow loss not attributable
+			}
 			lf := &res.Links[li].Flows[fi]
 			var err error
 			if lf.ConformantDropped.Packets != 0 {
@@ -107,7 +110,12 @@ func VerifyMany(t *Topology, results []Result) []report.Assertion {
 // legitimately be missing from delivery at the horizon: the bucket σ,
 // plus per hop the buffer that may still store its packets and the
 // bytes in flight on the propagation wire, plus one packet per hop in
-// transmission.
+// transmission. The bound is independent of how the run was executed:
+// a sharded run exchanges in-flight packets at window barriers without
+// perturbing their timestamps (the hand-off reproduces the exact
+// arrival instant fl(departure + propagation) an unsharded After would
+// have used), so "in flight on the wire" means the same set of bytes —
+// and the same allowance — at every Options.Shards value.
 func allowance(t *Topology, f *Flow) units.Bytes {
 	a := f.Spec.BucketSize
 	for _, li := range f.Route {

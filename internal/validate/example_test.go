@@ -51,6 +51,6 @@ func ExampleFuzz() {
 	// fuzz: 4 cases finished (of 4), seed 3, 2s horizon
 	//   kind single-link           3 cases
 	//   kind tandem                1 cases
-	//   assertions checked: 60
+	//   assertions checked: 64
 	//   all oracles passed
 }

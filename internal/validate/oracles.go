@@ -3,6 +3,7 @@ package validate
 import (
 	"context"
 	"fmt"
+	"reflect"
 
 	"bufqos/internal/core"
 	"bufqos/internal/fluid"
@@ -82,6 +83,12 @@ func Oracles() []Oracle {
 			Citation: "equation (17), §4.1",
 			Doc:      "the hybrid allocation never needs more buffer than plain FIFO: B_FIFO − B_hybrid ≥ 0",
 			Check:    checkHybridSavings,
+		},
+		{
+			Name:     "shard-equivalence",
+			Citation: "determinism contract, §5 scaling discussion",
+			Doc:      "re-running the scenario on a 3-shard partitioned kernel reproduces the single-shard result bit for bit",
+			Check:    checkShardEquivalence,
 		},
 		{
 			Name:     "sim-fluid-differential",
@@ -250,6 +257,38 @@ func checkRejectedIdle(_ context.Context, c *Case) []report.Assertion {
 		})
 	}
 	return as
+}
+
+// checkShardEquivalence re-runs the scenario with the link graph
+// partitioned over three event kernels (internal/shard) and asserts the
+// Result is bit-identical to the fuzz case's original run. Three is the
+// awkwardest small count: with most generated route graphs it forces at
+// least one uneven cut, exercising both the window protocol and the
+// hand-off tie-breaking.
+func checkShardEquivalence(ctx context.Context, c *Case) []report.Assertion {
+	opts := c.Opts
+	opts.Shards = 3
+	vres, err := topology.Run(ctx, c.Scenario.Topo, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return []report.Assertion{{
+			Name:   "shard-equivalence",
+			Detail: "running the 3-shard variant",
+			Err:    err,
+		}}
+	}
+	var err2 error
+	if !reflect.DeepEqual(*c.Result, vres) {
+		err2 = fmt.Errorf("3-shard run diverges from the original (events %d vs %d)",
+			vres.Events, c.Result.Events)
+	}
+	return []report.Assertion{{
+		Name:   "shard-equivalence",
+		Detail: fmt.Sprintf("scenario %s", c.Scenario.Topo.Name),
+		Err:    err2,
+	}}
 }
 
 // checkMonotonicity re-runs the scenario with one extra conformant flow
