@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke fuzz-smoke fuzz-nightly docs-check
+.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke fuzz-smoke fuzz-nightly docs-check qosd-smoke bench-qosd
 
 verify: build vet test race
 
@@ -28,6 +28,7 @@ lint:
 race:
 	go test -race -short -run 'TestParallel|TestPool|TestSweepCancel|TestMetricsDeterministic' ./internal/experiment
 	go test -race -run 'TestShardEquivalence|TestRunMergesDeterministically' ./internal/topology ./internal/shard
+	go test -race ./internal/qosd ./internal/core
 
 # Record a benchmark baseline, e.g. `make bench > results/bench-$(date +%F).txt`.
 bench:
@@ -55,6 +56,43 @@ topo-smoke:
 		echo "== $$f"; \
 		go run ./cmd/qnet -topology $$f -duration 5 -runs 2 -check; \
 	done
+
+# Boot the admission daemon on a generated topology, drive it with a
+# short deterministic load run (two passes must produce bit-identical
+# decision checksums, and the snapshot must round-trip through
+# /v1/restore byte-identically), then assert a clean SIGTERM drain.
+# CI runs this on every push.
+qosd-smoke:
+	@set -e; \
+	go build -o /tmp/bufqos-qosd ./cmd/qosd; \
+	go build -o /tmp/bufqos-qload ./cmd/qload; \
+	rm -f /tmp/bufqos-qosd.addr; \
+	/tmp/bufqos-qosd -gen 'random?links=100,flows=1000,seed=1' \
+		-addr 127.0.0.1:0 -addr-file /tmp/bufqos-qosd.addr & pid=$$!; \
+	for i in $$(seq 100); do [ -s /tmp/bufqos-qosd.addr ] && break; sleep 0.1; done; \
+	[ -s /tmp/bufqos-qosd.addr ] || { echo "qosd never bound"; kill $$pid 2>/dev/null; exit 1; }; \
+	/tmp/bufqos-qload -addr $$(cat /tmp/bufqos-qosd.addr) -clients 4 -ops 20000 \
+		-seed 1 -batch 256 -passes 2 -check-snapshot \
+		|| { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "qosd-smoke: ok (clean drain)"
+
+# Regenerate the committed control-plane benchmark: qload vs qosd on a
+# generated 1000-link topology, two passes asserted bit-identical, the
+# snapshot round-tripped, decisions/sec + latency percentiles recorded.
+bench-qosd:
+	@set -e; \
+	go build -o /tmp/bufqos-qosd ./cmd/qosd; \
+	go build -o /tmp/bufqos-qload ./cmd/qload; \
+	rm -f /tmp/bufqos-qosd.addr; \
+	/tmp/bufqos-qosd -gen 'random?links=1000,flows=10000,seed=1' \
+		-addr 127.0.0.1:0 -addr-file /tmp/bufqos-qosd.addr & pid=$$!; \
+	for i in $$(seq 100); do [ -s /tmp/bufqos-qosd.addr ] && break; sleep 0.1; done; \
+	/tmp/bufqos-qload -addr $$(cat /tmp/bufqos-qosd.addr) -clients 8 -ops 1000000 \
+		-seed 1 -batch 1024 -join-frac 0.90 -leave-frac 0.06 -max-active 20000 \
+		-passes 2 -check-snapshot -out BENCH_qosd.json \
+		|| { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
 
 # Bounded property-fuzzing campaign: 50 seeded scenarios, 2 s horizon,
 # every invariant oracle. Fails (and writes shrunk reproducers to

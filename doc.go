@@ -44,7 +44,9 @@
 // (per-packet event traces), cmd/qcheck (single-link invariant
 // checks), cmd/qnet (declarative multi-hop scenarios), cmd/qfuzz
 // (property-based invariant fuzzing), cmd/qosplan (closed-form
-// analysis); the README's CLI table summarizes flags and use cases.
+// analysis), cmd/qosd (the admission-control daemon), cmd/qload (its
+// load generator); the README's CLI table summarizes flags and use
+// cases.
 // Runnable walkthroughs are in examples/. The benchmarks in
 // bench_test.go regenerate each table and figure at reduced scale; see
 // EXPERIMENTS.md for paper-vs-measured results.

@@ -25,8 +25,8 @@ func main() {
 	linkRate := units.MbitsPerSecond(48)
 	bufSize := units.MegaBytes(2)
 
-	wfq := core.NewAdmissionController(core.DisciplineWFQ, linkRate, bufSize)
-	fifo := core.NewAdmissionController(core.DisciplineFIFO, linkRate, bufSize)
+	wfq := core.NewSerialAdmitter(core.DisciplineWFQ, linkRate, bufSize)
+	fifo := core.NewSerialAdmitter(core.DisciplineFIFO, linkRate, bufSize)
 
 	request := packet.FlowSpec{
 		TokenRate:  units.MbitsPerSecond(2),
@@ -58,7 +58,7 @@ func main() {
 	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "buffer\tadmitted\tfinal u\tlimit")
 	for _, mb := range []float64{0.5, 1, 2, 4, 8, 16} {
-		c := core.NewAdmissionController(core.DisciplineFIFO, linkRate, units.MegaBytes(mb))
+		c := core.NewSerialAdmitter(core.DisciplineFIFO, linkRate, units.MegaBytes(mb))
 		last := core.Accepted
 		for {
 			if r := c.Admit(request); r != core.Accepted {

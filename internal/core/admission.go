@@ -35,8 +35,7 @@ func (r RejectReason) String() string {
 	}
 }
 
-// Discipline selects which schedulability region an AdmissionController
-// enforces.
+// Discipline selects which schedulability region an admitter enforces.
 type Discipline int
 
 const (
@@ -55,99 +54,68 @@ func (d Discipline) String() string {
 	return "FIFO+thresholds"
 }
 
-// AdmissionController tracks the admitted flow set of a link and
-// answers whether additional flows fit its schedulability region.
-type AdmissionController struct {
-	discipline Discipline
-	rate       units.Rate
-	buffer     units.Bytes
-	flows      []packet.FlowSpec
-	sumRho     float64 // bits/s
-	sumSigma   units.Bytes
+// Admitter is the narrow admission-control surface of one link: answer
+// whether a flow fits the link's schedulability region, commit it,
+// release it, and export a consistent view of the admitted aggregate.
+// Two implementations exist: SerialAdmitter (single-goroutine, keeps
+// the admitted specs) and ShardedAdmitter link views (mutex-guarded,
+// safe for concurrent callers).
+type Admitter interface {
+	// Check reports whether spec fits without admitting it.
+	Check(spec packet.FlowSpec) RejectReason
+	// Admit adds spec to the admitted set when it fits, returning the
+	// decision.
+	Admit(spec packet.FlowSpec) RejectReason
+	// Release removes one previously admitted instance of spec. It is
+	// idempotent: releasing a spec that is not currently admitted
+	// returns false and leaves the aggregate unchanged.
+	Release(spec packet.FlowSpec) bool
+	// Snapshot returns a consistent copy of the admitted aggregate.
+	Snapshot() AdmissionSnapshot
 }
 
-// NewAdmissionController returns an empty controller for a link of the
-// given rate and total buffer.
-func NewAdmissionController(d Discipline, rate units.Rate, buffer units.Bytes) *AdmissionController {
-	if rate <= 0 || buffer <= 0 {
-		panic(fmt.Sprintf("core: invalid link rate %v or buffer %v", rate, buffer))
-	}
-	return &AdmissionController{discipline: d, rate: rate, buffer: buffer}
+// AdmissionSnapshot is a point-in-time view of one link's admitted
+// aggregate — everything the admission regions (eqs. 5–8) depend on.
+type AdmissionSnapshot struct {
+	Discipline Discipline
+	Rate       units.Rate
+	Buffer     units.Bytes
+	NumFlows   int
+	// SumRho is Σρ over the admitted set.
+	SumRho units.Rate
+	// SumSigma is Σσ over the admitted set.
+	SumSigma units.Bytes
 }
 
-// NumFlows returns the number of admitted flows.
-func (a *AdmissionController) NumFlows() int { return len(a.flows) }
-
-// Discipline returns the schedulability region the controller enforces.
-func (a *AdmissionController) Discipline() Discipline { return a.discipline }
-
-// Rate returns the link rate R the controller was built for.
-func (a *AdmissionController) Rate() units.Rate { return a.rate }
-
-// Buffer returns the total buffer B the controller was built for.
-func (a *AdmissionController) Buffer() units.Bytes { return a.buffer }
-
-// SumSigma returns Σσ over the admitted set.
-func (a *AdmissionController) SumSigma() units.Bytes { return a.sumSigma }
-
-// Utilization returns the reserved utilization u = Σρ/R of the admitted
-// set.
-func (a *AdmissionController) Utilization() float64 {
-	return a.sumRho / a.rate.BitsPerSecond()
+// Utilization returns the reserved utilization u = Σρ/R.
+func (s AdmissionSnapshot) Utilization() float64 {
+	return s.SumRho.BitsPerSecond() / s.Rate.BitsPerSecond()
 }
 
-// Check reports whether spec fits without admitting it.
-func (a *AdmissionController) Check(spec packet.FlowSpec) RejectReason {
+// checkRegion evaluates the paper's schedulability regions for a link
+// (d, rate, buffer) whose admitted aggregate is (sumRho bits/s,
+// sumSigma) against one additional spec. This is the single shared
+// implementation behind both admitters.
+func checkRegion(d Discipline, rate units.Rate, buffer units.Bytes,
+	sumRho float64, sumSigma units.Bytes, spec packet.FlowSpec) RejectReason {
 	if err := spec.Validate(); err != nil {
 		return BandwidthLimited
 	}
-	rho := a.sumRho + spec.TokenRate.BitsPerSecond()
-	sigma := float64(a.sumSigma + spec.BucketSize)
-	if rho > a.rate.BitsPerSecond() {
+	rho := sumRho + spec.TokenRate.BitsPerSecond()
+	sigma := float64(sumSigma + spec.BucketSize)
+	if rho > rate.BitsPerSecond() {
 		return BandwidthLimited
 	}
-	switch a.discipline {
+	switch d {
 	case DisciplineWFQ:
-		if sigma > float64(a.buffer) {
+		if sigma > float64(buffer) {
 			return BufferLimited
 		}
 	case DisciplineFIFO:
 		// B ≥ (B/R)·Σρ + Σσ  ⇔  B·(1 − Σρ/R) ≥ Σσ.
-		if float64(a.buffer)*(1-rho/a.rate.BitsPerSecond()) < sigma {
+		if float64(buffer)*(1-rho/rate.BitsPerSecond()) < sigma {
 			return BufferLimited
 		}
 	}
 	return Accepted
-}
-
-// Admit adds spec to the admitted set when it fits, returning the
-// decision.
-func (a *AdmissionController) Admit(spec packet.FlowSpec) RejectReason {
-	r := a.Check(spec)
-	if r != Accepted {
-		return r
-	}
-	a.flows = append(a.flows, spec)
-	a.sumRho += spec.TokenRate.BitsPerSecond()
-	a.sumSigma += spec.BucketSize
-	return Accepted
-}
-
-// Release removes a previously admitted flow by index order equality of
-// spec; it returns false when no matching flow is found.
-func (a *AdmissionController) Release(spec packet.FlowSpec) bool {
-	for i, f := range a.flows {
-		if f == spec {
-			a.flows = append(a.flows[:i], a.flows[i+1:]...)
-			a.sumRho -= spec.TokenRate.BitsPerSecond()
-			a.sumSigma -= spec.BucketSize
-			return true
-		}
-	}
-	return false
-}
-
-// Flows returns a copy of the admitted set.
-func (a *AdmissionController) Flows() []packet.FlowSpec {
-	return append([]packet.FlowSpec(nil), a.flows...)
 }

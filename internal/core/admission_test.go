@@ -10,7 +10,7 @@ import (
 
 func TestAdmissionWFQRegion(t *testing.T) {
 	// WFQ region (eqs. 5-6): R ≥ Σρ and B ≥ Σσ.
-	a := NewAdmissionController(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
+	a := NewSerialAdmitter(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
 	if got := a.Admit(spec(50, 20)); got != Accepted {
 		t.Fatalf("first flow: %v", got)
 	}
@@ -35,8 +35,8 @@ func TestAdmissionFIFORegionTighter(t *testing.T) {
 	// The same flow set can be WFQ-schedulable but FIFO-buffer-limited
 	// (the §2.3 point). Σσ = 300KB, u = 0.5 ⇒ FIFO needs B ≥ 600KB.
 	flows := []packet.FlowSpec{spec(150, 12), spec(150, 12)}
-	wfq := NewAdmissionController(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(400))
-	fifo := NewAdmissionController(DisciplineFIFO, units.MbitsPerSecond(48), units.KiloBytes(400))
+	wfq := NewSerialAdmitter(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(400))
+	fifo := NewSerialAdmitter(DisciplineFIFO, units.MbitsPerSecond(48), units.KiloBytes(400))
 	for _, f := range flows[:1] {
 		if wfq.Admit(f) != Accepted || fifo.Admit(f) != Accepted {
 			t.Fatal("first flow rejected")
@@ -59,7 +59,7 @@ func TestAdmissionFIFOMatchesRequiredBuffer(t *testing.T) {
 		t.Fatal(err)
 	}
 	admitAll := func(b units.Bytes) bool {
-		a := NewAdmissionController(DisciplineFIFO, units.MbitsPerSecond(48), b)
+		a := NewSerialAdmitter(DisciplineFIFO, units.MbitsPerSecond(48), b)
 		for _, s := range specs {
 			if a.Admit(s) != Accepted {
 				return false
@@ -76,7 +76,7 @@ func TestAdmissionFIFOMatchesRequiredBuffer(t *testing.T) {
 }
 
 func TestAdmissionRelease(t *testing.T) {
-	a := NewAdmissionController(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
+	a := NewSerialAdmitter(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
 	s := spec(60, 20)
 	a.Admit(s)
 	if a.Admit(spec(60, 20)) != BufferLimited {
@@ -94,7 +94,7 @@ func TestAdmissionRelease(t *testing.T) {
 }
 
 func TestAdmissionCheckDoesNotAdmit(t *testing.T) {
-	a := NewAdmissionController(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
+	a := NewSerialAdmitter(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
 	if a.Check(spec(10, 1)) != Accepted {
 		t.Fatal("check failed")
 	}
@@ -104,7 +104,7 @@ func TestAdmissionCheckDoesNotAdmit(t *testing.T) {
 }
 
 func TestAdmissionUtilization(t *testing.T) {
-	a := NewAdmissionController(DisciplineFIFO, units.MbitsPerSecond(48), units.MegaBytes(10))
+	a := NewSerialAdmitter(DisciplineFIFO, units.MbitsPerSecond(48), units.MegaBytes(10))
 	a.Admit(spec(10, 12))
 	a.Admit(spec(10, 12))
 	if u := a.Utilization(); u != 0.5 {
@@ -113,14 +113,14 @@ func TestAdmissionUtilization(t *testing.T) {
 }
 
 func TestAdmissionInvalidSpec(t *testing.T) {
-	a := NewAdmissionController(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
+	a := NewSerialAdmitter(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
 	if a.Check(packet.FlowSpec{}) == Accepted {
 		t.Error("invalid spec accepted")
 	}
 }
 
 func TestAdmissionFlowsCopy(t *testing.T) {
-	a := NewAdmissionController(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
+	a := NewSerialAdmitter(DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100))
 	a.Admit(spec(10, 1))
 	flows := a.Flows()
 	flows[0].BucketSize = 0
@@ -150,8 +150,8 @@ func TestRejectReasonStrings(t *testing.T) {
 
 func TestAdmissionConstructorValidation(t *testing.T) {
 	for i, f := range []func(){
-		func() { NewAdmissionController(DisciplineWFQ, 0, 100) },
-		func() { NewAdmissionController(DisciplineWFQ, units.Mbps, 0) },
+		func() { NewSerialAdmitter(DisciplineWFQ, 0, 100) },
+		func() { NewSerialAdmitter(DisciplineWFQ, units.Mbps, 0) },
 	} {
 		func() {
 			defer func() {

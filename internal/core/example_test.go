@@ -69,8 +69,8 @@ func ExampleAllocateHybrid() {
 }
 
 // The admission controller enforcing the FIFO+BM schedulability region.
-func ExampleAdmissionController() {
-	ctl := core.NewAdmissionController(core.DisciplineFIFO,
+func ExampleSerialAdmitter() {
+	ctl := core.NewSerialAdmitter(core.DisciplineFIFO,
 		units.MbitsPerSecond(48), units.KiloBytes(600))
 	req := packet.FlowSpec{TokenRate: units.MbitsPerSecond(12), BucketSize: units.KiloBytes(150)}
 	fmt.Println(ctl.Admit(req))

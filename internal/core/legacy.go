@@ -1,0 +1,18 @@
+package core
+
+import "bufqos/internal/units"
+
+// AdmissionController is the pre-redesign name of the single-threaded
+// admitter.
+//
+// Deprecated: use SerialAdmitter (or the Admitter interface, which the
+// concurrent ShardedAdmitter link views also satisfy).
+type AdmissionController = SerialAdmitter
+
+// NewAdmissionController returns an empty controller for a link of the
+// given rate and total buffer.
+//
+// Deprecated: use NewSerialAdmitter.
+func NewAdmissionController(d Discipline, rate units.Rate, buffer units.Bytes) *AdmissionController {
+	return NewSerialAdmitter(d, rate, buffer)
+}

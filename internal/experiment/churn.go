@@ -128,7 +128,7 @@ func RunChurn(ctx context.Context, cfg ChurnConfig) (ChurnResult, error) {
 		mgr.Instrument(cfg.Metrics, "buffer")
 		link.Instrument(cfg.Metrics, "churn")
 	}
-	admission := core.NewAdmissionController(core.DisciplineFIFO, cfg.LinkRate, cfg.Buffer)
+	admission := core.NewSerialAdmitter(core.DisciplineFIFO, cfg.LinkRate, cfg.Buffer)
 
 	rng := sim.NewRand(cfg.Seed)
 	srcRngSeq := 0

@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -68,8 +69,10 @@ func TestEnvelopeNoPeak(t *testing.T) {
 	}
 }
 
-// Property: the envelope is non-decreasing and subadditive-compatible:
-// Envelope(a+b) ≤ Envelope(a) + ρ·b for all non-negative a, b.
+// Property: the envelope is non-decreasing and Lipschitz in the peak
+// rate: Envelope(a+b) ≤ Envelope(a) + P·b for all non-negative a, b.
+// (The tighter ρ·b bound only holds once the bucket segment binds at a;
+// in the peak-to-bucket crossover region the increment can reach P·b.)
 func TestPropertyEnvelopeMonotone(t *testing.T) {
 	s := FlowSpec{
 		PeakRate:   units.MbitsPerSecond(40),
@@ -82,9 +85,10 @@ func TestPropertyEnvelopeMonotone(t *testing.T) {
 		if eab < ea {
 			return false
 		}
-		return eab <= ea+s.TokenRate.BitsPerSecond()*b+1e-6
+		return eab <= ea+s.PeakRate.BitsPerSecond()*b+1e-6
 	}
-	if err := quick.Check(f, nil); err != nil {
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,87 @@
+package qosd
+
+import (
+	"bufqos/internal/core"
+	"bufqos/internal/metrics"
+)
+
+// serverMetrics holds the daemon's registry handles. All handles are
+// nil-safe, so a Server built with a nil registry records nothing at
+// zero cost.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	joinAccepted   *metrics.Counter
+	joinBandwidth  *metrics.Counter
+	joinBuffer     *metrics.Counter
+	leaveReleased  *metrics.Counter
+	rerouteOK      *metrics.Counter
+	rerouteBW      *metrics.Counter
+	rerouteBuf     *metrics.Counter
+	restores       *metrics.Counter
+	activeFlows    *metrics.Gauge
+	latencyJoin    *metrics.Histogram
+	latencyLeave   *metrics.Histogram
+	latencyReroute *metrics.Histogram
+	latencyBatch   *metrics.Histogram
+	httpRequests   *metrics.Counter
+	httpErrors     *metrics.Counter
+}
+
+// latencyBuckets spans 1µs to ~4s in quarter-decade steps — request
+// latencies for in-memory admission sit at the bottom; the top exists
+// so an overloaded daemon is visible, not truncated.
+func latencyBuckets() []float64 { return metrics.ExpBuckets(1e-6, 2, 23) }
+
+func (m *serverMetrics) init(reg *metrics.Registry) {
+	m.reg = reg
+	m.joinAccepted = reg.Counter("qosd.join.accepted")
+	m.joinBandwidth = reg.Counter("qosd.join.rejected.bandwidth-limited")
+	m.joinBuffer = reg.Counter("qosd.join.rejected.buffer-limited")
+	m.leaveReleased = reg.Counter("qosd.leave.released")
+	m.rerouteOK = reg.Counter("qosd.reroute.accepted")
+	m.rerouteBW = reg.Counter("qosd.reroute.rejected.bandwidth-limited")
+	m.rerouteBuf = reg.Counter("qosd.reroute.rejected.buffer-limited")
+	m.restores = reg.Counter("qosd.restore.count")
+	m.activeFlows = reg.Gauge("qosd.flows.active")
+	m.latencyJoin = reg.Histogram("qosd.latency.join", latencyBuckets())
+	m.latencyLeave = reg.Histogram("qosd.latency.leave", latencyBuckets())
+	m.latencyReroute = reg.Histogram("qosd.latency.reroute", latencyBuckets())
+	m.latencyBatch = reg.Histogram("qosd.latency.batch", latencyBuckets())
+	m.httpRequests = reg.Counter("qosd.http.requests")
+	m.httpErrors = reg.Counter("qosd.http.errors")
+}
+
+func (m *serverMetrics) decision(r core.RejectReason, active int) {
+	switch r {
+	case core.Accepted:
+		m.joinAccepted.Inc()
+	case core.BandwidthLimited:
+		m.joinBandwidth.Inc()
+	default:
+		m.joinBuffer.Inc()
+	}
+	m.activeFlows.Set(int64(active))
+}
+
+func (m *serverMetrics) released(active int) {
+	m.leaveReleased.Inc()
+	m.activeFlows.Set(int64(active))
+}
+
+func (m *serverMetrics) rerouted(r core.RejectReason, active int) {
+	switch r {
+	case core.Accepted:
+		m.rerouteOK.Inc()
+	case core.BandwidthLimited:
+		m.rerouteBW.Inc()
+	default:
+		m.rerouteBuf.Inc()
+	}
+	m.activeFlows.Set(int64(active))
+}
+
+func (m *serverMetrics) restored(active int) {
+	m.restores.Inc()
+	m.activeFlows.Set(int64(active))
+}

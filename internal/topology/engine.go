@@ -47,10 +47,10 @@ func planAdmission(t *Topology, duration float64) *admissionPlan {
 	for fi := range p.leaveAt {
 		p.leaveAt[fi] = duration
 	}
-	ctrl := make([]*core.AdmissionController, len(t.Links))
+	ctrl := make([]*core.SerialAdmitter, len(t.Links))
 	for li := range t.Links {
 		l := &t.Links[li]
-		ctrl[li] = core.NewAdmissionController(discipline(l), l.Rate, l.Buffer)
+		ctrl[li] = core.NewSerialAdmitter(discipline(l), l.Rate, l.Buffer)
 	}
 	join := func(fi int, at float64) {
 		f := &t.Flows[fi]

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bufqos/internal/units"
+)
+
+// TestParseWireTypedScenario loads a scenario written entirely in the
+// suffixed wire encoding shared with qosd and checks it equals the
+// legacy-numeric spelling of the same scenario.
+func TestParseWireTypedScenario(t *testing.T) {
+	wire := `{
+  "name": "wire",
+  "links": [
+    {"from": "a", "to": "b", "rate": "48Mbit/s", "buffer": "600KB",
+     "headroom": "50KB", "prop_delay": "5ms"}
+  ],
+  "flows": [
+    {"name": "f0", "route": ["a", "b"], "source": "cbr", "shaped": true,
+     "spec": {"peak": "6Mbit/s", "token": "2Mbit/s", "bucket": "60KB"},
+     "avg": "2Mbit/s", "burst": "60KB", "packet": "500B"}
+  ],
+  "events": [
+    {"at": 1, "type": "rate", "link": "a->b", "rate": "24Mbit/s"}
+  ]
+}`
+	legacy := `{
+  "name": "wire",
+  "links": [
+    {"from": "a", "to": "b", "rate_mbps": 48, "buffer_kb": 600,
+     "headroom_kb": 50, "prop_delay_ms": 5}
+  ],
+  "flows": [
+    {"name": "f0", "route": ["a", "b"], "source": "cbr", "shaped": true,
+     "peak_mbps": 6, "token_mbps": 2, "bucket_kb": 60,
+     "avg_mbps": 2, "burst_kb": 60, "packet_bytes": 500}
+  ],
+  "events": [
+    {"at": 1, "type": "rate", "link": "a->b", "rate_mbps": 24}
+  ]
+}`
+	tw, err := Parse(strings.NewReader(wire))
+	if err != nil {
+		t.Fatalf("wire form: %v", err)
+	}
+	tl, err := Parse(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy form: %v", err)
+	}
+	lw, ll := tw.Links[0], tl.Links[0]
+	if lw.Rate != ll.Rate || lw.Buffer != ll.Buffer || lw.Headroom != ll.Headroom || lw.PropDelay != ll.PropDelay {
+		t.Errorf("links differ:\nwire   %+v\nlegacy %+v", lw, ll)
+	}
+	if tw.Flows[0].Spec != tl.Flows[0].Spec || tw.Flows[0].AvgRate != tl.Flows[0].AvgRate ||
+		tw.Flows[0].MeanBurst != tl.Flows[0].MeanBurst || tw.Flows[0].PacketSize != tl.Flows[0].PacketSize {
+		t.Errorf("flows differ:\nwire   %+v\nlegacy %+v", tw.Flows[0], tl.Flows[0])
+	}
+	if tw.Events[0].Rate != tl.Events[0].Rate {
+		t.Errorf("event rates differ: %v vs %v", tw.Events[0].Rate, tl.Events[0].Rate)
+	}
+	if tw.Links[0].Rate != units.MbitsPerSecond(48) || tw.Links[0].PropDelay != 0.005 {
+		t.Errorf("wire link decoded wrong: %+v", tw.Links[0])
+	}
+
+	// Write emits the legacy schema; the round trip must survive.
+	var buf bytes.Buffer
+	if err := Write(&buf, tw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse written scenario: %v", err)
+	}
+	if back.Links[0].Rate != tw.Links[0].Rate || back.Flows[0].Spec != tw.Flows[0].Spec {
+		t.Error("Write/Parse round trip lost wire-typed values")
+	}
+}
+
+// TestParseRejectsDoubleEncoding: giving the same quantity in both
+// encodings is ambiguous and must fail loudly.
+func TestParseRejectsDoubleEncoding(t *testing.T) {
+	cases := []string{
+		`{"name":"x","links":[{"from":"a","to":"b","rate_mbps":48,"rate":"24Mbit/s","buffer_kb":100}],
+		  "flows":[{"route":["a","b"],"token_mbps":1,"bucket_kb":10,"peak_mbps":3}]}`,
+		`{"name":"x","links":[{"from":"a","to":"b","rate_mbps":48,"buffer_kb":100}],
+		  "flows":[{"route":["a","b"],"token_mbps":1,"bucket_kb":10,"peak_mbps":3,
+		            "spec":{"token":"1Mbit/s","bucket":"10KB"}}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: double-encoded scenario accepted", i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a span of simulated (or configured) time in seconds — the
+// unit every kernel timestamp, propagation delay, and horizon in this
+// codebase is expressed in. It exists so durations cross JSON
+// boundaries with an explicit unit (see MarshalJSON) instead of as
+// bare floats whose unit lives in a field name.
+type Time float64
+
+// Common duration constructors.
+const (
+	Second      Time = 1
+	Millisecond      = 1e-3 * Second
+	Microsecond      = 1e-6 * Second
+	Nanosecond       = 1e-9 * Second
+)
+
+// Seconds returns a Time from a value in seconds.
+func Seconds(v float64) Time { return Time(v) }
+
+// Milliseconds returns a Time from a value in milliseconds.
+func Milliseconds(v float64) Time { return Time(v * 1e-3) }
+
+// SecondsFloat reports the span as a plain float64 in seconds, the form
+// the simulation kernel consumes.
+func (t Time) SecondsFloat() float64 { return float64(t) }
+
+// Duration converts to a time.Duration (nanosecond granularity).
+func (t Time) Duration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+// String formats the span with an adaptive unit.
+func (t Time) String() string {
+	v := float64(t)
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case v == 0:
+		return "0s"
+	case abs >= 1:
+		return fmt.Sprintf("%.4gs", v)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.4gms", v*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.4gus", v*1e6)
+	default:
+		return fmt.Sprintf("%.4gns", v*1e9)
+	}
+}
