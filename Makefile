@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke fuzz-smoke fuzz-nightly docs-check qosd-smoke bench-qosd
+.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke tcp-smoke fuzz-smoke fuzz-nightly docs-check qosd-smoke bench-qosd
 
 verify: build vet test race
 
@@ -56,6 +56,25 @@ topo-smoke:
 		echo "== $$f"; \
 		go run ./cmd/qnet -topology $$f -duration 5 -runs 2 -check; \
 	done
+
+# Closed-loop determinism gate: the gfr3 TCP scenario (feedback data
+# plane: ACKs and drop notifications riding reverse links) run with
+# -check at -shards 1 and -shards 4 must produce byte-identical output.
+# CI runs this on every push.
+tcp-smoke:
+	@set -e; \
+	go build -o /tmp/bufqos-qnet ./cmd/qnet; \
+	/tmp/bufqos-qnet -topology topologies/gfr3.json -duration 5 -check \
+		-shards 1 > /tmp/bufqos-gfr3-s1.txt; \
+	/tmp/bufqos-qnet -topology topologies/gfr3.json -duration 5 -check \
+		-shards 4 > /tmp/bufqos-gfr3-s4.txt; \
+	c1=$$(sha256sum /tmp/bufqos-gfr3-s1.txt | cut -d' ' -f1); \
+	c4=$$(sha256sum /tmp/bufqos-gfr3-s4.txt | cut -d' ' -f1); \
+	if [ "$$c1" != "$$c4" ]; then \
+		echo "tcp-smoke: shard 1 and shard 4 outputs diverge"; \
+		diff /tmp/bufqos-gfr3-s1.txt /tmp/bufqos-gfr3-s4.txt; exit 1; \
+	fi; \
+	echo "tcp-smoke: ok (sha256 $$c1)"
 
 # Boot the admission daemon on a generated topology, drive it with a
 # short deterministic load run (two passes must produce bit-identical

@@ -1,0 +1,125 @@
+package bufqos_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bufqos/internal/topology"
+	"bufqos/internal/units"
+)
+
+// gfrFloor computes the tcp-goodput-floor bar for one flow: half the
+// reserved rate over the active window, minus the storage-and-flight
+// allowance topology.Verify grants (bucket plus per-hop buffer, wire,
+// and one packet).
+func gfrFloor(t *topology.Topology, f *topology.Flow, active float64) units.Bytes {
+	allow := f.Spec.BucketSize
+	for _, li := range f.Route {
+		l := &t.Links[li]
+		allow += l.Buffer + units.BytesAtRate(l.Rate, l.PropDelay) + f.PacketSize
+	}
+	return units.Bytes(topology.TCPGoodputFraction*
+		float64(units.BytesAtRate(f.Spec.TokenRate, active))) - allow
+}
+
+// TestGFR3ScenarioContract pins the shipped gfr3 scenario's GFR story:
+// every TCP flow is admitted, the goodput floor holds on the guaranteed
+// paths (fifo+threshold, fifo+sharing, wfq+sharing — asserted by
+// topology.Verify), and the taildrop path's big reservation measurably
+// MISSES the same floor — the control showing per-flow buffer
+// management, not luck, is what protects the big flow's share.
+func TestGFR3ScenarioContract(t *testing.T) {
+	topo, err := topology.Load("topologies/gfr3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topology.Run(context.Background(), topo, topology.Options{Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	floors := 0
+	for _, a := range topology.Verify(topo, &res) {
+		if a.Failed() {
+			t.Errorf("%s: %s: %v", a.Name, a.Detail, a.Err)
+		}
+		if a.Name == "tcp-goodput-floor" {
+			floors++
+		}
+	}
+	// 6 flows on the threshold path + 5 each on sharing and wfq.
+	if floors != 16 {
+		t.Errorf("want 16 goodput-floor assertions (guaranteed paths only), got %d", floors)
+	}
+
+	tailBig := -1
+	for fi := range topo.Flows {
+		f := &topo.Flows[fi]
+		fr := &res.Flows[fi]
+		if !fr.Admitted {
+			t.Errorf("flow %s rejected; gfr3 must sit inside every admission region", f.Name)
+		}
+		if f.Name == "tail-big" {
+			tailBig = fi
+		}
+	}
+	if tailBig < 0 {
+		t.Fatal("gfr3 lost its tail-big flow")
+	}
+
+	// The expected-fail control: on plain taildrop the synchronized
+	// windows equalize and the big reservation cannot reach its floor.
+	f, fr := &topo.Flows[tailBig], &res.Flows[tailBig]
+	want := gfrFloor(topo, f, fr.LeaveAt-fr.JoinAt)
+	if fr.Goodput.Bytes >= want {
+		t.Errorf("taildrop big flow reached the floor (goodput %v >= %v); the control no longer discriminates",
+			fr.Goodput.Bytes, want)
+	}
+	if fr.Goodput.Packets == 0 || fr.Retransmits == 0 {
+		t.Errorf("taildrop big flow should limp, not stall: goodput %d pkts, %d retransmits",
+			fr.Goodput.Packets, fr.Retransmits)
+	}
+}
+
+// TestGFR3ShardBitIdentity extends the determinism contract to the
+// shipped closed-loop scenario: shards 2, 4, and 8 must reproduce the
+// single-shard Result exactly, ACKs and drop notifications included.
+func TestGFR3ShardBitIdentity(t *testing.T) {
+	topo, err := topology.Load("topologies/gfr3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := topology.Options{Duration: 3, Seed: 1}
+	base, err := topology.Run(context.Background(), topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		o := opts
+		o.Shards = shards
+		res, err := topology.Run(context.Background(), topo, o)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("shards=%d: result differs from single-shard run", shards)
+		}
+	}
+}
+
+// TestGFR3SuffixedEventTime pins the wire format the scenario relies
+// on: the late join is written with a duration-suffixed time.
+func TestGFR3SuffixedEventTime(t *testing.T) {
+	raw, err := topology.Load("topologies/gfr3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Events) != 1 || raw.Events[0].At != 2.5 {
+		t.Fatalf("gfr3 timeline changed: %+v", raw.Events)
+	}
+	if raw.Events[0].Kind != topology.EventJoin || !strings.HasPrefix(raw.Events[0].Flow, "thr-") {
+		t.Errorf("late join must land on the threshold path, got %+v", raw.Events[0])
+	}
+}

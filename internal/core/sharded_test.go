@@ -111,6 +111,67 @@ func TestShardedReroute(t *testing.T) {
 	}
 }
 
+// TestShardedRerouteIdentityNoOp: rerouting a flow onto its own route
+// must succeed and change nothing — every link is on both routes, so no
+// admission check runs and no reservation moves.
+func TestShardedRerouteIdentityNoOp(t *testing.T) {
+	sa := twoLinks()
+	s := spec(50, 2)
+	if li, r := sa.AdmitRoute([]int{0, 1}, s); li != -1 || r != Accepted {
+		t.Fatalf("admit: (%d, %v)", li, r)
+	}
+	before := sa.Snapshot()
+	for i := 0; i < 3; i++ {
+		if li, r := sa.Reroute([]int{0, 1}, []int{0, 1}, s); li != -1 || r != Accepted {
+			t.Fatalf("identity reroute %d rejected: (%d, %v)", i, li, r)
+		}
+	}
+	after := sa.Snapshot()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("identity reroute moved link %d: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+	// The identity reroute even holds when the flow would no longer pass
+	// a fresh admission check: fill link 0 to the brim first.
+	if li, r := sa.Reroute([]int{0, 1}, []int{1, 0}, s); li != -1 || r != Accepted {
+		t.Errorf("order-permuted identity reroute rejected: (%d, %v)", li, r)
+	}
+}
+
+// TestShardedRerouteFailureLeavesAllUntouched: a reroute refused on its
+// first genuinely-new link must leave every shard's snapshot — shared,
+// old-only, and new-only — bit-identical to before.
+func TestShardedRerouteFailureLeavesAllUntouched(t *testing.T) {
+	sa := NewShardedAdmitter([]LinkConfig{
+		{DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100)},
+		{DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100)},
+		{DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(10)},
+		{DisciplineWFQ, units.MbitsPerSecond(48), units.KiloBytes(100)},
+	})
+	s := spec(50, 2)
+	if li, r := sa.AdmitRoute([]int{0, 1}, s); li != -1 || r != Accepted {
+		t.Fatalf("admit: (%d, %v)", li, r)
+	}
+	before := sa.Snapshot()
+	// New route keeps 1, adds 2 (refuses: 10KB < σ=50KB) then 3. Link 2
+	// is first in new-route order, so it is the reported refusal, and
+	// link 3 must never see the spec.
+	if li, r := sa.Reroute([]int{0, 1}, []int{1, 2, 3}, s); li != 2 || r != BufferLimited {
+		t.Fatalf("reroute = (%d, %v), want (2, buffer-limited)", li, r)
+	}
+	after := sa.Snapshot()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("failed reroute changed link %d: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+	// And the flow is still releasable on its original route.
+	if !sa.ReleaseRoute([]int{0, 1}, s) {
+		t.Error("original route lost its reservation after a failed reroute")
+	}
+}
+
 // TestShardedOneLinkHammer drives one link from 32 goroutines under
 // -race: each worker admits its own distinct specs and releases every
 // other one. The link is provisioned so everything fits, which makes

@@ -25,12 +25,17 @@ import (
 type Router struct {
 	Name string
 
-	sim   *sim.Simulator
-	link  *sched.Link
-	col   *stats.Collector
-	next  map[int]func(p *packet.Packet)
+	sim  *sim.Simulator
+	link *sched.Link
+	col  *stats.Collector
+	// next and nhops are indexed by flow ID, grown on demand — flow IDs
+	// are dense small integers, so slice indexing replaces the former
+	// per-flow map lookups on the forwarding hot path (the CSR
+	// flow-table convention). A nil entry means the flow terminates
+	// here.
+	next  []func(p *packet.Packet)
 	prop  float64
-	nhops map[int]int64 // diagnostics: how many packets forwarded per flow
+	nhops []int64 // diagnostics: how many packets forwarded per flow
 }
 
 // NewRouter builds a hop. col may be nil; prop is the propagation delay
@@ -41,12 +46,10 @@ func NewRouter(s *sim.Simulator, name string, rate units.Rate, scheduler sched.S
 		panic(fmt.Sprintf("network: negative propagation delay %v", prop))
 	}
 	r := &Router{
-		Name:  name,
-		sim:   s,
-		col:   col,
-		next:  map[int]func(p *packet.Packet){},
-		prop:  prop,
-		nhops: map[int]int64{},
+		Name: name,
+		sim:  s,
+		col:  col,
+		prop: prop,
 	}
 	r.link = sched.NewLink(s, rate, scheduler, mgr, col)
 	r.link.OnDepart = r.forward
@@ -92,9 +95,16 @@ func (r *Router) Receive(p *packet.Packet) { r.link.Receive(p) }
 // SetRoute directs departed packets of flow to next. A nil next means
 // the flow terminates here.
 func (r *Router) SetRoute(flow int, next func(p *packet.Packet)) {
-	if next == nil {
-		delete(r.next, flow)
-		return
+	if flow >= len(r.next) {
+		if next == nil {
+			return
+		}
+		grown := make([]func(p *packet.Packet), flow+1)
+		copy(grown, r.next)
+		r.next = grown
+		hops := make([]int64, flow+1)
+		copy(hops, r.nhops)
+		r.nhops = hops
 	}
 	r.next[flow] = next
 }
@@ -102,11 +112,19 @@ func (r *Router) SetRoute(flow int, next func(p *packet.Packet)) {
 // Forwarded returns how many of flow's packets this router has handed
 // to a next hop so far (packets terminating here, or departing with no
 // route set, are not counted).
-func (r *Router) Forwarded(flow int) int64 { return r.nhops[flow] }
+func (r *Router) Forwarded(flow int) int64 {
+	if flow >= len(r.nhops) {
+		return 0
+	}
+	return r.nhops[flow]
+}
 
 func (r *Router) forward(p *packet.Packet) {
-	next, ok := r.next[p.Flow]
-	if !ok {
+	if p.Flow >= len(r.next) {
+		return
+	}
+	next := r.next[p.Flow]
+	if next == nil {
 		return
 	}
 	r.nhops[p.Flow]++
@@ -132,6 +150,51 @@ type Delivery struct {
 	dsum    []float64 // running delay sum (exact: same additions in both modes)
 	dmax    []float64
 	delays  []*stats.DelayTracker // nil in light mode
+	tcp     []*tcpEndpoint        // nil until a flow registers an acker
+}
+
+// tcpEndpoint is the receive side of one closed-loop flow: it reorders
+// by sequence number, counts goodput (first copies only) separately
+// from raw deliveries, and answers every data segment with a cumulative
+// acknowledgement handed to the registered ack callback.
+type tcpEndpoint struct {
+	ackSize units.Bytes
+	ack     func(p *packet.Packet)
+	rcvNxt  uint64          // next expected sequence number
+	ooo     map[uint64]bool // out-of-order segments held for reassembly
+	ackSeq  uint64          // monotone Seq for emitted ACK packets
+	goodput stats.Counter   // unique in-order-reassembled data
+	dups    int64           // duplicate copies discarded
+}
+
+// receive processes one data segment and emits the cumulative ACK.
+func (r *tcpEndpoint) receive(d *Delivery, p *packet.Packet) {
+	switch {
+	case p.Seq < r.rcvNxt || r.ooo[p.Seq]:
+		r.dups++
+	case p.Seq == r.rcvNxt:
+		r.goodput.Add(p.Size)
+		r.rcvNxt++
+		for r.ooo[r.rcvNxt] {
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt++
+		}
+	default:
+		r.goodput.Add(p.Size)
+		r.ooo[p.Seq] = true
+	}
+	now := d.sim.Now()
+	ap := &packet.Packet{
+		Flow:    p.Flow,
+		Size:    r.ackSize,
+		Created: now,
+		Arrived: now,
+		Seq:     r.ackSeq,
+		Ack:     true,
+		AckSeq:  r.rcvNxt,
+	}
+	r.ackSeq++
+	r.ack(ap)
 }
 
 // NewDelivery builds an end-to-end sink for nflows flows with full
@@ -183,6 +246,41 @@ func (d *Delivery) Receive(p *packet.Packet) {
 	if d.delays != nil {
 		d.delays[p.Flow].Add(delay)
 	}
+	if d.tcp != nil {
+		if r := d.tcp[p.Flow]; r != nil {
+			r.receive(d, p)
+		}
+	}
+}
+
+// SetAcker registers flow as closed-loop: every delivered data segment
+// is answered with a cumulative acknowledgement packet of the given
+// size, handed to ack at delivery time. The caller routes the ACK back
+// towards the source (typically across the flow's reverse path delay).
+func (d *Delivery) SetAcker(flow int, ackSize units.Bytes, ack func(p *packet.Packet)) {
+	if d.tcp == nil {
+		d.tcp = make([]*tcpEndpoint, len(d.packets))
+	}
+	d.tcp[flow] = &tcpEndpoint{ackSize: ackSize, ack: ack, ooo: map[uint64]bool{}}
+}
+
+// Goodput returns flow's unique delivered data — retransmitted copies
+// counted once — which is the throughput measure the GFR comparison
+// uses. It is zero (and meaningless) for flows without an acker.
+func (d *Delivery) Goodput(flow int) stats.Counter {
+	if d.tcp == nil || d.tcp[flow] == nil {
+		return stats.Counter{}
+	}
+	return d.tcp[flow].goodput
+}
+
+// Duplicates returns how many redundant copies flow's receiver
+// discarded.
+func (d *Delivery) Duplicates(flow int) int64 {
+	if d.tcp == nil || d.tcp[flow] == nil {
+		return 0
+	}
+	return d.tcp[flow].dups
 }
 
 // Packets returns flow's delivered packet count.

@@ -1,0 +1,347 @@
+package source
+
+import (
+	"fmt"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/units"
+)
+
+// TCP congestion-control constants (RFC 5681 / 6582 / 6298), in the
+// segment-granularity form classic simulators use: windows count
+// segments, not bytes.
+const (
+	tcpInitialWindow = 2   // IW, segments
+	tcpDupThresh     = 3   // dupacks triggering fast retransmit
+	tcpMinSsthresh   = 2   // floor for the multiplicative decrease
+	tcpInitialRTO    = 1.0 // seconds, before the first RTT sample
+	tcpMinRTO        = 0.2 // seconds (the common simulator value)
+	tcpMaxRTO        = 60.0
+)
+
+// TCPConfig describes a closed-loop TCP Reno/NewReno source.
+type TCPConfig struct {
+	Flow int
+	// SegmentSize is the size of every data segment (one packet).
+	SegmentSize units.Bytes
+	// PaceRate spaces new-data emissions at SegmentSize·8/PaceRate —
+	// the sender's access-link speed. Typically the flow's peak rate or
+	// its first link's rate.
+	PaceRate units.Rate
+}
+
+// Validate reports configuration errors.
+func (c TCPConfig) Validate() error {
+	switch {
+	case c.SegmentSize <= 0:
+		return fmt.Errorf("tcp source: segment size %v must be positive", c.SegmentSize)
+	case c.PaceRate <= 0:
+		return fmt.Errorf("tcp source: pace rate %v must be positive", c.PaceRate)
+	}
+	return nil
+}
+
+// TCP is a window-based closed-loop source implementing TCP
+// Reno/NewReno at segment granularity: slow start, AIMD congestion
+// avoidance, fast retransmit / fast recovery on three duplicate
+// acknowledgements (with NewReno partial-ack retransmission), and an
+// RFC 6298 retransmission timer with Karn's algorithm and exponential
+// backoff. It emits data segments into its sink and receives
+// acknowledgements through the Feedback interface; everything is
+// re-clocked on the sim kernel, so a run is deterministic.
+//
+// Sequence numbers count segments: Seq s is the s-th segment of the
+// flow, and a cumulative ACK carrying AckSeq a acknowledges every
+// segment with Seq < a. Retransmissions reuse the original Seq.
+type TCP struct {
+	cfg  TCPConfig
+	sim  *sim.Simulator
+	sink Sink
+
+	una uint64 // lowest unacknowledged sequence number
+	nxt uint64 // next new sequence number to send
+
+	cwnd     float64 // congestion window, segments
+	ssthresh float64 // slow-start threshold, segments
+
+	dupAcks    int
+	inRecovery bool
+	recover    uint64 // NewReno: highest sequence outstanding at loss detection
+
+	// RTO state (RFC 6298). srtt < 0 means "no sample yet".
+	srtt, rttvar, rto float64
+	rtoEv             sim.Event
+
+	// sendTime records each outstanding segment's emission time for RTT
+	// sampling; retx marks segments that were retransmitted (Karn's
+	// algorithm: never sample those). Both maps are only ever read and
+	// deleted by exact key, so they introduce no iteration-order
+	// nondeterminism.
+	sendTime map[uint64]float64
+	retx     map[uint64]bool
+
+	pumping bool
+	stopped bool
+
+	retransmits int64
+	timeouts    int64
+	dropsSeen   int64
+}
+
+// NewTCP creates a TCP source delivering segments into sink. It panics
+// on an invalid configuration, like the other sources.
+func NewTCP(s *sim.Simulator, cfg TCPConfig, sink Sink) *TCP {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &TCP{
+		cfg:      cfg,
+		sim:      s,
+		sink:     sink,
+		cwnd:     tcpInitialWindow,
+		ssthresh: 1 << 30, // effectively unbounded until the first loss
+		srtt:     -1,
+		rto:      tcpInitialRTO,
+		sendTime: map[uint64]float64{},
+		retx:     map[uint64]bool{},
+	}
+}
+
+// Start begins the transfer (the source is greedy: it always has data).
+func (t *TCP) Start() { t.pump() }
+
+// Stop halts the source: pending timers are cancelled and late
+// feedback is ignored.
+func (t *TCP) Stop() {
+	t.stopped = true
+	t.rtoEv.Cancel()
+}
+
+// Retransmits returns how many segments were re-emitted (fast
+// retransmit, NewReno partial-ack, and timeout recovery combined).
+func (t *TCP) Retransmits() int64 { return t.retransmits }
+
+// Timeouts returns how many times the retransmission timer fired.
+func (t *TCP) Timeouts() int64 { return t.timeouts }
+
+// DropsSeen returns how many in-network drop notifications reached the
+// source. Congestion control reacts only to the ACK stream (as real TCP
+// must); the count is diagnostic.
+func (t *TCP) DropsSeen() int64 { return t.dropsSeen }
+
+// Cwnd returns the current congestion window in segments.
+func (t *TCP) Cwnd() float64 { return t.cwnd }
+
+// flight returns the number of outstanding segments.
+func (t *TCP) flight() float64 { return float64(t.nxt - t.una) }
+
+// OnAck implements Feedback: process one cumulative acknowledgement.
+func (t *TCP) OnAck(p *packet.Packet) {
+	if t.stopped {
+		return
+	}
+	ack := p.AckSeq
+	switch {
+	case ack > t.una:
+		t.newAck(ack)
+	case ack == t.una && t.nxt > t.una:
+		t.dupAck()
+	}
+	t.pump()
+}
+
+// OnDrop implements Feedback: a buffer manager rejected one of the
+// flow's segments. TCP infers loss from the ACK stream alone, so this
+// only counts the notification.
+func (t *TCP) OnDrop(p *packet.Packet) {
+	if t.stopped {
+		return
+	}
+	t.dropsSeen++
+}
+
+// newAck advances the window for an acknowledgement of new data.
+func (t *TCP) newAck(ack uint64) {
+	acked := float64(ack - t.una)
+	// Consume send records, sampling the RTT from the newest
+	// acknowledged segment that was transmitted exactly once (Karn).
+	sample := -1.0
+	for s := t.una; s < ack; s++ {
+		if ts, ok := t.sendTime[s]; ok && !t.retx[s] {
+			sample = t.sim.Now() - ts
+		}
+		delete(t.sendTime, s)
+		delete(t.retx, s)
+	}
+	if sample >= 0 {
+		t.updateRTO(sample)
+	}
+	t.una = ack
+	if t.nxt < t.una {
+		t.nxt = t.una
+	}
+	if t.inRecovery {
+		if ack > t.recover {
+			// Full acknowledgement: leave fast recovery, deflating the
+			// window back to the slow-start threshold.
+			t.inRecovery = false
+			t.cwnd = t.ssthresh
+			t.dupAcks = 0
+		} else {
+			// NewReno partial ACK: the next hole is lost too. Retransmit
+			// it, deflate by the acknowledged amount, and stay in
+			// recovery.
+			t.cwnd = t.cwnd - acked + 1
+			if t.cwnd < 1 {
+				t.cwnd = 1
+			}
+			t.retransmit(t.una)
+		}
+	} else {
+		t.dupAcks = 0
+		if t.cwnd < t.ssthresh {
+			t.cwnd += acked // slow start: exponential growth
+		} else {
+			t.cwnd += acked / t.cwnd // congestion avoidance: +1 MSS per RTT
+		}
+	}
+	t.armTimer()
+}
+
+// dupAck handles an acknowledgement that advanced nothing while data is
+// outstanding.
+func (t *TCP) dupAck() {
+	if t.inRecovery {
+		// Window inflation: each further dupack signals a segment left
+		// the network.
+		t.cwnd++
+		return
+	}
+	t.dupAcks++
+	if t.dupAcks < tcpDupThresh {
+		return
+	}
+	// Fast retransmit + fast recovery.
+	t.ssthresh = t.flight() / 2
+	if t.ssthresh < tcpMinSsthresh {
+		t.ssthresh = tcpMinSsthresh
+	}
+	t.recover = t.nxt - 1
+	t.inRecovery = true
+	t.cwnd = t.ssthresh + tcpDupThresh
+	t.retransmit(t.una)
+	t.armTimer()
+}
+
+// onTimeout handles RTO expiry: multiplicative decrease to one segment,
+// go-back-N from the first hole, exponential timer backoff.
+func (t *TCP) onTimeout() {
+	if t.stopped || t.una == t.nxt {
+		return
+	}
+	t.timeouts++
+	t.ssthresh = t.flight() / 2
+	if t.ssthresh < tcpMinSsthresh {
+		t.ssthresh = tcpMinSsthresh
+	}
+	t.cwnd = 1
+	t.dupAcks = 0
+	t.inRecovery = false
+	t.rto *= 2
+	if t.rto > tcpMaxRTO {
+		t.rto = tcpMaxRTO
+	}
+	t.retransmit(t.una)
+	// Go-back-N: everything after the retransmitted segment is resent
+	// as the window re-opens.
+	t.nxt = t.una + 1
+	t.armTimer()
+	t.pump()
+}
+
+// updateRTO folds one RTT measurement into the RFC 6298 estimator and
+// resets the backoff.
+func (t *TCP) updateRTO(r float64) {
+	if t.srtt < 0 {
+		t.srtt = r
+		t.rttvar = r / 2
+	} else {
+		d := t.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		t.rttvar = 0.75*t.rttvar + 0.25*d
+		t.srtt = 0.875*t.srtt + 0.125*r
+	}
+	t.rto = t.srtt + 4*t.rttvar
+	if t.rto < tcpMinRTO {
+		t.rto = tcpMinRTO
+	}
+	if t.rto > tcpMaxRTO {
+		t.rto = tcpMaxRTO
+	}
+}
+
+// armTimer (re)starts the retransmission timer, or cancels it when
+// nothing is outstanding.
+func (t *TCP) armTimer() {
+	t.rtoEv.Cancel()
+	if t.una == t.nxt {
+		return
+	}
+	t.rtoEv = t.sim.After(t.rto, t.onTimeout)
+}
+
+// emit sends segment s into the sink.
+func (t *TCP) emit(s uint64) {
+	now := t.sim.Now()
+	t.sendTime[s] = now
+	t.sink.Receive(&packet.Packet{
+		Flow:    t.cfg.Flow,
+		Size:    t.cfg.SegmentSize,
+		Created: now,
+		Arrived: now,
+		Seq:     s,
+	})
+}
+
+// retransmit re-emits segment s immediately (retransmissions are not
+// paced: they replace a segment the network already accounted for).
+func (t *TCP) retransmit(s uint64) {
+	t.retx[s] = true
+	t.retransmits++
+	t.emit(s)
+}
+
+// pump starts the paced emission loop when the window allows sending.
+func (t *TCP) pump() {
+	if t.pumping || t.stopped {
+		return
+	}
+	if t.flight() >= t.cwnd {
+		return
+	}
+	t.pumping = true
+	t.step()
+}
+
+// step emits one new segment and re-schedules itself one transmission
+// time later, for as long as the window stays open.
+func (t *TCP) step() {
+	if t.stopped {
+		t.pumping = false
+		return
+	}
+	if t.flight() >= t.cwnd {
+		t.pumping = false
+		return
+	}
+	wasIdle := t.una == t.nxt
+	t.emit(t.nxt)
+	t.nxt++
+	if wasIdle {
+		t.armTimer()
+	}
+	t.sim.After(units.TransmissionTime(t.cfg.SegmentSize, t.cfg.PaceRate), t.step)
+}

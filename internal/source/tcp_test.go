@@ -1,0 +1,153 @@
+package source
+
+import (
+	"math"
+	"testing"
+
+	"bufqos/internal/packet"
+	"bufqos/internal/sim"
+	"bufqos/internal/units"
+)
+
+// tcpLoop is a miniature closed loop for exercising the TCP source in
+// isolation: segments cross a fixed one-way delay to a cumulative-ACK
+// receiver, whose ACKs cross the same delay back. A drop predicate
+// models in-network loss of chosen (Seq, attempt) copies.
+type tcpLoop struct {
+	s     *sim.Simulator
+	src   *TCP
+	delay float64
+	drop  func(seq uint64, attempt int) bool
+
+	attempts  map[uint64]int
+	rcvNxt    uint64
+	ooo       map[uint64]bool
+	delivered int64
+}
+
+func newTCPLoop(s *sim.Simulator, delay float64) *tcpLoop {
+	return &tcpLoop{s: s, delay: delay, attempts: map[uint64]int{}, ooo: map[uint64]bool{}}
+}
+
+func (n *tcpLoop) Receive(p *packet.Packet) {
+	n.attempts[p.Seq]++
+	if n.drop != nil && n.drop(p.Seq, n.attempts[p.Seq]) {
+		return
+	}
+	seq := p.Seq
+	n.s.After(n.delay, func() {
+		n.delivered++
+		if seq == n.rcvNxt {
+			n.rcvNxt++
+			for n.ooo[n.rcvNxt] {
+				delete(n.ooo, n.rcvNxt)
+				n.rcvNxt++
+			}
+		} else if seq > n.rcvNxt {
+			n.ooo[seq] = true
+		}
+		ack := n.rcvNxt
+		n.s.After(n.delay, func() {
+			n.src.OnAck(&packet.Packet{Ack: true, AckSeq: ack})
+		})
+	})
+}
+
+func startLoop(s *sim.Simulator, delay float64, drop func(uint64, int) bool) *tcpLoop {
+	n := newTCPLoop(s, delay)
+	n.drop = drop
+	n.src = NewTCP(s, TCPConfig{Flow: 0, SegmentSize: 500, PaceRate: 100 * units.Mbps}, n)
+	n.src.Start()
+	return n
+}
+
+func TestTCPSlowStartLossFree(t *testing.T) {
+	s := sim.New()
+	n := startLoop(s, 0.01, nil) // RTT 20 ms
+	s.RunUntil(1.0)
+	if n.src.Retransmits() != 0 || n.src.Timeouts() != 0 {
+		t.Fatalf("loss-free run retransmitted: retx=%d timeouts=%d", n.src.Retransmits(), n.src.Timeouts())
+	}
+	if n.src.Cwnd() <= tcpInitialWindow {
+		t.Errorf("cwnd never grew: %v", n.src.Cwnd())
+	}
+	// ~50 RTTs of unconstrained slow start should deliver far more than
+	// the initial window's worth of segments, gap-free.
+	if n.rcvNxt < 100 {
+		t.Errorf("only %d contiguous segments delivered", n.rcvNxt)
+	}
+	if int64(n.rcvNxt) != n.delivered {
+		t.Errorf("duplicates in a loss-free run: rcvNxt=%d delivered=%d", n.rcvNxt, n.delivered)
+	}
+}
+
+func TestTCPFastRetransmit(t *testing.T) {
+	s := sim.New()
+	// Lose the first copy of segment 20; plenty of later segments
+	// generate the duplicate ACKs.
+	n := startLoop(s, 0.01, func(seq uint64, attempt int) bool {
+		return seq == 20 && attempt == 1
+	})
+	s.RunUntil(1.0)
+	if n.src.Retransmits() != 1 {
+		t.Errorf("want exactly 1 retransmission, got %d", n.src.Retransmits())
+	}
+	if n.src.Timeouts() != 0 {
+		t.Errorf("fast retransmit should have repaired the loss without a timeout, got %d", n.src.Timeouts())
+	}
+	if n.rcvNxt < 100 {
+		t.Errorf("transfer stalled after the loss: rcvNxt=%d", n.rcvNxt)
+	}
+	// Loss must halve the window: after recovery cwnd restarts from
+	// ssthresh, far below the pre-loss exponential trajectory.
+	if n.src.Cwnd() > 10000 {
+		t.Errorf("cwnd %v suggests the loss never registered", n.src.Cwnd())
+	}
+}
+
+func TestTCPTimeoutRecovery(t *testing.T) {
+	s := sim.New()
+	// Lose every copy of segment 1 twice: with only segments 0..1 in
+	// flight at that point there are not enough dupacks for fast
+	// retransmit, so only the RTO can repair it.
+	n := startLoop(s, 0.01, func(seq uint64, attempt int) bool {
+		return seq == 1 && attempt <= 2
+	})
+	s.RunUntil(5.0)
+	if n.src.Timeouts() == 0 {
+		t.Fatal("RTO never fired")
+	}
+	if n.rcvNxt < 100 {
+		t.Errorf("transfer never resumed after timeout: rcvNxt=%d", n.rcvNxt)
+	}
+}
+
+func TestTCPRTOEstimator(t *testing.T) {
+	s := sim.New()
+	src := NewTCP(s, TCPConfig{Flow: 0, SegmentSize: 500, PaceRate: units.Mbps}, SinkFunc(func(*packet.Packet) {}))
+	src.updateRTO(0.1)
+	if src.srtt != 0.1 || src.rttvar != 0.05 {
+		t.Errorf("first sample: srtt=%v rttvar=%v", src.srtt, src.rttvar)
+	}
+	if got, want := src.rto, 0.3; math.Abs(got-want) > 1e-12 { // srtt + 4·rttvar
+		t.Errorf("rto=%v", got)
+	}
+	src.updateRTO(0.2)
+	wantVar := 0.75*0.05 + 0.25*0.1
+	wantSrtt := 0.875*0.1 + 0.125*0.2
+	if math.Abs(src.rttvar-wantVar) > 1e-12 || math.Abs(src.srtt-wantSrtt) > 1e-12 {
+		t.Errorf("second sample: srtt=%v (want %v) rttvar=%v (want %v)", src.srtt, wantSrtt, src.rttvar, wantVar)
+	}
+}
+
+func TestTCPStopSilences(t *testing.T) {
+	s := sim.New()
+	n := startLoop(s, 0.01, nil)
+	s.RunUntil(0.1)
+	n.src.Stop()
+	sent := len(n.attempts)
+	s.RunUntil(2.0)
+	if len(n.attempts) != sent {
+		t.Errorf("segments emitted after Stop: %d -> %d", sent, len(n.attempts))
+	}
+}

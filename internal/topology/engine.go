@@ -94,13 +94,29 @@ func planAdmission(t *Topology, duration float64) *admissionPlan {
 	return p
 }
 
+// crossingKind distinguishes what a shard hand-off carries: a data
+// packet entering its next link, or closed-loop feedback (an
+// acknowledgement or a drop notification) returning to a source.
+type crossingKind int8
+
+const (
+	crossData crossingKind = iota
+	crossAck
+	crossDrop
+)
+
+// tcpAckSize is the size of the acknowledgement packets a closed-loop
+// flow's receiver generates (a TCP/IP header with no payload).
+const tcpAckSize units.Bytes = 40
+
 // crossing is one packet handed between shards at a window barrier.
 type crossing struct {
 	p       *packet.Packet
 	dstLink int32
-	// srcLink and flow (global id) break residual (Time, Sched) ties
-	// deterministically.
+	// srcLink, kind, and flow (global id) break residual (Time, Sched)
+	// ties deterministically.
 	srcLink int32
+	kind    crossingKind
 	flow    int32
 }
 
@@ -144,24 +160,68 @@ type engine struct {
 	// unmapped links).
 	hopEntry []int32
 	sources  []stopper
-	res      *Result
+	// feedback holds each closed-loop flow's reverse-direction surface
+	// (nil for open-loop flows and until the source starts); tcps keeps
+	// the concrete senders for retransmission statistics.
+	feedback []source.Feedback
+	tcps     []*source.TCP
+	// ackDelay is each flow's full reverse-path propagation delay;
+	// dropDelay, aligned with FlowTable.RouteLink, is the partial
+	// reverse delay from that hop's entry back to the source. Both are
+	// zero-filled for open-loop flows.
+	ackDelay  []float64
+	dropDelay []float64
+	res       *Result
 }
 
 // buildEdges derives the partitioner's input from route adjacency: one
 // edge per ordered pair of consecutive links on any route, weighted by
 // how many flows make that hop, with lookahead = upstream propagation
-// delay. The edge list is sorted so the partition is deterministic.
+// delay. Closed-loop (tcp) flows additionally contribute feedback
+// edges towards their first link — one from the last link with the
+// full reverse-path delay (acknowledgements) and one per later hop
+// with the partial reverse delay (drop notifications) — so the
+// partitioner either colocates a zero-delay feedback path or the
+// synchronization window shrinks to cover it. Coinciding edges merge
+// by summed weight and minimum lookahead. The edge list is sorted so
+// the partition is deterministic.
 func buildEdges(t *Topology, ft *FlowTable) []shard.Edge {
 	type key struct{ a, b int32 }
-	counts := map[key]int64{}
+	type info struct {
+		weight int64
+		look   float64
+	}
+	edges := map[key]info{}
+	add := func(a, b int32, look float64, w int64) {
+		if a == b {
+			return
+		}
+		k := key{a, b}
+		e, ok := edges[k]
+		if !ok || look < e.look {
+			e.look = look
+		}
+		e.weight += w
+		edges[k] = e
+	}
 	for fi := range t.Flows {
 		off, end := ft.RouteOff[fi], ft.RouteOff[fi+1]
 		for i := off; i+1 < end; i++ {
-			counts[key{ft.RouteLink[i], ft.RouteLink[i+1]}]++
+			a := ft.RouteLink[i]
+			add(a, ft.RouteLink[i+1], t.Links[a].PropDelay, 1)
+		}
+		f := &t.Flows[fi]
+		if f.Source != SourceTCP {
+			continue
+		}
+		first := int32(f.Route[0])
+		add(int32(f.Route[len(f.Route)-1]), first, reverseDelay(t, f, len(f.Route)), 1)
+		for h := 1; h < len(f.Route); h++ {
+			add(int32(f.Route[h]), first, reverseDelay(t, f, h), 1)
 		}
 	}
-	keys := make([]key, 0, len(counts))
-	for k := range counts {
+	keys := make([]key, 0, len(edges))
+	for k := range edges {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -170,16 +230,30 @@ func buildEdges(t *Topology, ft *FlowTable) []shard.Edge {
 		}
 		return keys[i].b < keys[j].b
 	})
-	edges := make([]shard.Edge, 0, len(keys))
+	out := make([]shard.Edge, 0, len(keys))
 	for _, k := range keys {
-		edges = append(edges, shard.Edge{
+		out = append(out, shard.Edge{
 			From:      int(k.a),
 			To:        int(k.b),
-			Lookahead: t.Links[k.a].PropDelay,
-			Weight:    counts[k],
+			Lookahead: edges[k].look,
+			Weight:    edges[k].weight,
 		})
 	}
-	return edges
+	return out
+}
+
+// reverseDelay is the propagation delay feedback generated at the
+// entry of hop h (or at delivery, h = len(Route)) accumulates on its
+// way back to the source: the sum of the first h reverse links' props.
+// Acknowledgements and drop notifications are modelled as delay-only —
+// they never queue in reverse-direction buffers, the standard
+// simplification when the reverse path is uncongested.
+func reverseDelay(t *Topology, f *Flow, h int) float64 {
+	d := 0.0
+	for j := 0; j < h; j++ {
+		d += t.Links[f.ReverseRoute[j]].PropDelay
+	}
+	return d
 }
 
 // newEngine plans and wires one run. It does everything up to (not
@@ -199,6 +273,25 @@ func newEngine(t *Topology, opts Options) (*engine, error) {
 	}
 	e.plan = planAdmission(t, opts.Duration)
 	e.res.Rejections = e.plan.rejections
+
+	// Closed-loop bookkeeping: reverse-path delays per flow and per
+	// hop, and which links carry tcp flows (those need drop hooks).
+	e.feedback = make([]source.Feedback, len(t.Flows))
+	e.tcps = make([]*source.TCP, len(t.Flows))
+	e.ackDelay = make([]float64, len(t.Flows))
+	e.dropDelay = make([]float64, len(e.ft.RouteLink))
+	hasTCP := make([]bool, len(t.Links))
+	for fi := range t.Flows {
+		f := &t.Flows[fi]
+		if f.Source != SourceTCP {
+			continue
+		}
+		e.ackDelay[fi] = reverseDelay(t, f, len(f.Route))
+		for h, li := range f.Route {
+			hasTCP[li] = true
+			e.dropDelay[e.ft.RouteOff[fi]+int32(h)] = reverseDelay(t, f, h)
+		}
+	}
 
 	nshards := opts.Shards
 	if nshards < 1 {
@@ -295,7 +388,27 @@ func newEngine(t *Topology, opts Options) (*engine, error) {
 			prop:      l.PropDelay,
 		}
 		lk.OnDepart = e.forwardFrom(el)
+		if hasTCP[li] {
+			lk.OnDrop = e.dropFrom(el)
+		}
 		e.links[li] = el
+	}
+
+	// Register each admitted tcp flow's acknowledgement generator on
+	// the delivery sink of its last link's shard: every delivered data
+	// segment is answered with a cumulative ACK that travels the
+	// reverse path's accumulated delay back to the source.
+	for fi := range t.Flows {
+		if t.Flows[fi].Source != SourceTCP || !e.plan.admitted[fi] {
+			continue
+		}
+		fi := fi
+		route := t.Flows[fi].Route
+		last := e.links[route[len(route)-1]]
+		els := e.shards[last.shard]
+		els.delivery.SetAcker(fi, tcpAckSize, func(ap *packet.Packet) {
+			e.sendFeedback(els, last, fi, ap, crossAck, e.ackDelay[fi])
+		})
 	}
 
 	// Data-plane flow ids per route hop.
@@ -411,6 +524,75 @@ func (e *engine) forwardFrom(el *engineLink) func(p *packet.Packet) {
 	}
 }
 
+// dropFrom builds el's OnDrop hook: when a buffer manager rejects a
+// closed-loop flow's data segment, notify the source after the partial
+// reverse-path delay from the dropping hop. Open-loop flows sharing
+// the link are ignored (no feedback surface).
+func (e *engine) dropFrom(el *engineLink) func(p *packet.Packet) {
+	es := e.shards[el.shard]
+	ft := e.ft
+	return func(p *packet.Packet) {
+		g := int32(p.Flow)
+		if el.flows != nil {
+			g = el.flows[p.Flow]
+		}
+		if e.feedback[g] == nil {
+			return
+		}
+		e.sendFeedback(es, el, int(g), p, crossDrop, e.dropDelay[ft.RouteOff[g]+p.Hop])
+	}
+}
+
+// sendFeedback routes one reverse-direction notification (ACK or drop)
+// generated on shard src at link from back to flow fi's source, after
+// the given propagation delay. Same shard: direct call (zero delay,
+// matching the data path's same-event forwarding) or After; other
+// shard: an outbox item for the window barrier, stamped exactly like a
+// data crossing so the hand-off instant is bit-identical to the
+// single-shard After. A cross-shard item always has delay ≥ the
+// synchronization window, because the feedback edge's lookahead is
+// this delay (zero-delay feedback paths are colocated by the
+// partitioner).
+func (e *engine) sendFeedback(src *engineShard, from *engineLink, fi int, p *packet.Packet, kind crossingKind, delay float64) {
+	first := e.topo.Flows[fi].Route[0]
+	dst := e.part.Assign[first]
+	if e.shards[dst] == src {
+		if delay == 0 {
+			e.deliverFeedback(fi, kind, p)
+			return
+		}
+		src.s.After(delay, func() { e.deliverFeedback(fi, kind, p) })
+		return
+	}
+	now := src.s.Now()
+	src.outbox = append(src.outbox, shard.Item[crossing]{
+		Dst:   dst,
+		Time:  now + delay,
+		Sched: now,
+		Load: crossing{
+			p:       p,
+			dstLink: int32(first),
+			srcLink: int32(from.topoIdx),
+			kind:    kind,
+			flow:    int32(fi),
+		},
+	})
+}
+
+// deliverFeedback hands one notification to the flow's source (a
+// no-op for sources that stopped or never started).
+func (e *engine) deliverFeedback(fi int, kind crossingKind, p *packet.Packet) {
+	fb := e.feedback[fi]
+	if fb == nil {
+		return
+	}
+	if kind == crossAck {
+		fb.OnAck(p)
+	} else {
+		fb.OnDrop(p)
+	}
+}
+
 // startSource assembles one admitted flow's generator chain into its
 // first hop: source → (shaper) → offered counter → hop-0 localizer →
 // link.
@@ -430,6 +612,22 @@ func (e *engine) startSource(fi int) {
 	}
 	var src stopper
 	switch f.Source {
+	case SourceTCP:
+		// Pace emissions at the peak rate (or the first link's rate):
+		// the congestion window, clocked by returning ACKs, does the
+		// real rate control.
+		pace := f.Spec.PeakRate
+		if pace <= 0 {
+			pace = e.topo.Links[f.Route[0]].Rate
+		}
+		tcp := source.NewTCP(es.s, source.TCPConfig{
+			Flow:        fi,
+			SegmentSize: f.PacketSize,
+			PaceRate:    pace,
+		}, entry)
+		e.feedback[fi] = tcp
+		e.tcps[fi] = tcp
+		src = tcp
 	case SourceGreedy:
 		// Saturate the shaper at the peak rate (or the first link's rate
 		// when no peak is declared): the shaper output then follows the
@@ -480,16 +678,26 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 	inject := func(d int, items []shard.Item[crossing]) {
 		es := e.shards[d]
 		for _, it := range items {
-			p, dst := it.Load.p, e.links[it.Load.dstLink]
-			es.s.AtStamped(it.Time, it.Sched, func() {
-				p.Arrived = es.s.Now()
-				dst.link.Receive(p)
-			})
+			switch load := it.Load; load.kind {
+			case crossData:
+				p, dst := load.p, e.links[load.dstLink]
+				es.s.AtStamped(it.Time, it.Sched, func() {
+					p.Arrived = es.s.Now()
+					dst.link.Receive(p)
+				})
+			default: // crossAck, crossDrop: feedback to the source
+				es.s.AtStamped(it.Time, it.Sched, func() {
+					e.deliverFeedback(int(load.flow), load.kind, load.p)
+				})
+			}
 		}
 	}
 	tieLess := func(a, b crossing) bool {
 		if a.srcLink != b.srcLink {
 			return a.srcLink < b.srcLink
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
 		}
 		if a.flow != b.flow {
 			return a.flow < b.flow
@@ -572,8 +780,16 @@ func (e *engine) collect() {
 			Packets: d.Packets(fi),
 			Bytes:   d.Bytes(fi),
 		}
-		if active := fr.LeaveAt - fr.JoinAt; active > 0 {
+		active := fr.LeaveAt - fr.JoinAt
+		if active > 0 {
 			fr.Throughput = units.Rate(fr.Delivered.Bytes.Bits() / active)
+		}
+		if tcp := e.tcps[fi]; tcp != nil {
+			fr.Goodput = d.Goodput(fi)
+			if active > 0 {
+				fr.GoodputRate = units.Rate(fr.Goodput.Bytes.Bits() / active)
+			}
+			fr.Retransmits = tcp.Retransmits()
 		}
 		fr.MeanDelay = d.MeanDelay(fi)
 		fr.MaxDelay = d.MaxDelay(fi)

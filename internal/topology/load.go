@@ -64,7 +64,10 @@ type jsonFlow struct {
 }
 
 type jsonEvent struct {
-	At       float64    `json:"at"`
+	// At accepts both encodings directly through units.Time: a suffixed
+	// wire duration ("250ms", "1s") or a bare number of simulated
+	// seconds.
+	At       units.Time `json:"at"`
 	Type     string     `json:"type"`
 	Flow     string     `json:"flow,omitempty"`
 	Link     string     `json:"link,omitempty"`
@@ -164,7 +167,7 @@ func Parse(r io.Reader) (*Topology, error) {
 			return nil, err
 		}
 		t.Events = append(t.Events, Event{
-			At:   je.At,
+			At:   je.At.SecondsFloat(),
 			Kind: EventKind(je.Type),
 			Flow: je.Flow,
 			Link: je.Link,

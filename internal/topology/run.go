@@ -121,6 +121,16 @@ type FlowResult struct {
 	// to final delivery), in seconds.
 	MeanDelay float64
 	MaxDelay  float64
+	// Goodput counts a closed-loop (tcp) flow's unique delivered data —
+	// retransmitted copies once — and GoodputRate spreads it over the
+	// active window. Both are zero for open-loop flows, whose Delivered
+	// already is goodput.
+	Goodput     stats.Counter
+	GoodputRate units.Rate
+	// Retransmits counts segments a tcp source re-emitted (fast
+	// retransmit and timeout recovery combined); zero for open-loop
+	// flows.
+	Retransmits int64
 }
 
 // Result is the outcome of one scenario run.

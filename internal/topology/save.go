@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"bufqos/internal/units"
 )
 
 // Write encodes a validated scenario in the same JSON schema Parse
@@ -53,7 +55,7 @@ func Write(w io.Writer, t *Topology) error {
 	for i := range t.Events {
 		ev := &t.Events[i]
 		jt.Events = append(jt.Events, jsonEvent{
-			At:       ev.At,
+			At:       units.Seconds(ev.At),
 			Type:     string(ev.Kind),
 			Flow:     ev.Flow,
 			Link:     ev.Link,

@@ -19,11 +19,11 @@ func WriteFlowTable(w io.Writer, t *Topology, results []Result) error {
 	}
 	fmt.Fprintf(w, "topology %s: %d flows, %d links, %d runs of %.3gs\n",
 		t.Name, len(t.Flows), len(t.Links), len(results), results[0].Duration)
-	fmt.Fprintf(w, "%-12s %-22s %-7s %-9s %-18s %-16s %s\n",
-		"flow", "route", "source", "admitted", "delivered (Mb/s)", "mean delay (ms)", "status")
+	fmt.Fprintf(w, "%-12s %-22s %-7s %-9s %-18s %-18s %-8s %-16s %s\n",
+		"flow", "route", "source", "admitted", "delivered (Mb/s)", "goodput (Mb/s)", "retx", "mean delay (ms)", "status")
 	for fi := range t.Flows {
 		f := &t.Flows[fi]
-		var thr, delay []float64
+		var thr, goodput, retx, delay []float64
 		admitted := 0
 		status := ""
 		for ri := range results {
@@ -32,6 +32,10 @@ func WriteFlowTable(w io.Writer, t *Topology, results []Result) error {
 				admitted++
 				thr = append(thr, fr.Throughput.Mbits())
 				delay = append(delay, fr.MeanDelay*1000)
+				if f.Source == SourceTCP {
+					goodput = append(goodput, fr.GoodputRate.Mbits())
+					retx = append(retx, float64(fr.Retransmits))
+				}
 			}
 			if fr.Degraded {
 				status = "degraded"
@@ -43,9 +47,10 @@ func WriteFlowTable(w io.Writer, t *Topology, results []Result) error {
 		if admitted == 0 {
 			status = strings.TrimSpace("rejected " + status)
 		}
-		fmt.Fprintf(w, "%-12s %-22s %-7s %2d/%-6d %-18s %-16s %s\n",
+		fmt.Fprintf(w, "%-12s %-22s %-7s %2d/%-6d %-18s %-18s %-8s %-16s %s\n",
 			f.Name, strings.Join(f.RouteNodes, "-"), f.Source,
-			admitted, len(results), summaryOrDash(thr), summaryOrDash(delay), status)
+			admitted, len(results), summaryOrDash(thr), summaryOrDash(goodput),
+			summaryOrDash(retx), summaryOrDash(delay), status)
 	}
 	if rej := rejectionLines(results); len(rej) > 0 {
 		fmt.Fprintln(w, "rejections:")
@@ -109,7 +114,8 @@ func WriteFlowCSV(w io.Writer, t *Topology, results []Result) error {
 	if err := cw.Write([]string{
 		"run", "seed", "flow", "route", "source", "admitted", "degraded", "left",
 		"join_s", "leave_s", "offered_bytes", "delivered_bytes", "delivered_packets",
-		"throughput_mbps", "mean_delay_ms", "max_delay_ms",
+		"throughput_mbps", "goodput_bytes", "goodput_mbps", "retransmits",
+		"mean_delay_ms", "max_delay_ms",
 	}); err != nil {
 		return err
 	}
@@ -131,6 +137,9 @@ func WriteFlowCSV(w io.Writer, t *Topology, results []Result) error {
 				strconv.FormatInt(int64(fr.Delivered.Bytes), 10),
 				strconv.FormatInt(fr.Delivered.Packets, 10),
 				fmtG(fr.Throughput.Mbits()),
+				strconv.FormatInt(int64(fr.Goodput.Bytes), 10),
+				fmtG(fr.GoodputRate.Mbits()),
+				strconv.FormatInt(fr.Retransmits, 10),
 				fmtG(fr.MeanDelay * 1000),
 				fmtG(fr.MaxDelay * 1000),
 			}

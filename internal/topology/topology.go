@@ -65,6 +65,12 @@ const (
 	SourceGreedy SourceKind = "greedy"
 	// SourceCBR emits at the flow's average rate with constant spacing.
 	SourceCBR SourceKind = "cbr"
+	// SourceTCP is a closed-loop TCP Reno/NewReno sender: delivery
+	// generates acknowledgements that travel the flow's reverse route
+	// back to the source, which clocks its congestion window off them.
+	// The topology must contain a reverse link for every hop of the
+	// flow's route.
+	SourceTCP SourceKind = "tcp"
 )
 
 // Flow is one end-to-end session: a declared (σ, ρ, peak) profile, an
@@ -81,6 +87,12 @@ type Flow struct {
 	RouteNodes []string
 	// Route is the resolved path as indices into Topology.Links.
 	Route []int
+	// ReverseRoute, filled by Validate for tcp flows only, holds the
+	// reverse-direction link of each forward hop: ReverseRoute[h] is the
+	// link To→From opposite Route[h]. Acknowledgements and drop
+	// notifications accumulate its propagation delays on their way back
+	// to the source.
+	ReverseRoute []int
 	// Source selects the generator kind.
 	Source SourceKind
 	// AvgRate and MeanBurst parameterize the on-off source (the cbr
@@ -279,12 +291,15 @@ func (t *Topology) Validate() error {
 		switch f.Source {
 		case "":
 			f.Source = SourceOnOff
-		case SourceOnOff, SourceGreedy, SourceCBR:
+		case SourceOnOff, SourceGreedy, SourceCBR, SourceTCP:
 		default:
-			return fmt.Errorf("flow %s: unknown source kind %q (want onoff, greedy, or cbr)", f.Name, f.Source)
+			return fmt.Errorf("flow %s: unknown source kind %q (want onoff, greedy, cbr, or tcp)", f.Name, f.Source)
 		}
 		if f.Source == SourceGreedy && !f.Shaped {
 			return fmt.Errorf("flow %s: a greedy source must be shaped (it saturates its leaky bucket)", f.Name)
+		}
+		if f.Source == SourceTCP && f.Shaped {
+			return fmt.Errorf("flow %s: a tcp source cannot be shaped (its window, not a leaky bucket, paces it)", f.Name)
 		}
 		if f.Source == SourceOnOff {
 			// NewOnOff panics on bad parameters; surface them as load
@@ -313,6 +328,20 @@ func (t *Topology) Validate() error {
 					f.Name, edge, strings.Join(f.RouteNodes, " "))
 			}
 			f.Route = append(f.Route, li)
+		}
+		if f.Source == SourceTCP {
+			// A closed-loop flow needs a reverse link opposite every
+			// forward hop to carry its acknowledgements home.
+			f.ReverseRoute = f.ReverseRoute[:0]
+			for h := 0; h+1 < len(f.RouteNodes); h++ {
+				edge := f.RouteNodes[h+1] + "->" + f.RouteNodes[h]
+				li, ok := byEdge[edge]
+				if !ok {
+					return fmt.Errorf("flow %s: tcp source needs reverse link %s for its acknowledgements (nodes %s)",
+						f.Name, edge, strings.Join(f.RouteNodes, " "))
+				}
+				f.ReverseRoute = append(f.ReverseRoute, li)
+			}
 		}
 	}
 

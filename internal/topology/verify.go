@@ -50,6 +50,26 @@ func Verify(t *Topology, res *Result) []report.Assertion {
 			})
 			continue
 		}
+		if f.Source == SourceTCP {
+			// The closed-loop contract: under per-flow buffer
+			// management, an admitted TCP flow's goodput tracks its
+			// reserved share of the bottleneck. Only guaranteed schemes
+			// (fifo/wfq + threshold/sharing) are held to the floor —
+			// taildrop and RED make no per-flow promise, which is
+			// exactly the GFR comparison's point.
+			if guaranteedRoute(t, f) && !fr.Left {
+				active := fr.LeaveAt - fr.JoinAt
+				want := units.Bytes(TCPGoodputFraction*float64(units.BytesAtRate(f.Spec.TokenRate, active))) - allowance(t, f)
+				as = append(as, report.Assertion{
+					Name: "tcp-goodput-floor",
+					Detail: fmt.Sprintf("flow %s: goodput ≥ %.2g·ρ = %.2g·%v over %.3gs",
+						f.Name, TCPGoodputFraction, TCPGoodputFraction, f.Spec.TokenRate, active),
+					Err: check(fr.Goodput.Bytes >= want,
+						"goodput %v (%v), want ≥ %v", fr.Goodput.Bytes, fr.GoodputRate, want),
+				})
+			}
+			continue // tcp flows are unshaped; no conformance contract
+		}
 		if !f.Shaped {
 			continue // no conformance contract to verify
 		}
@@ -123,6 +143,34 @@ func allowance(t *Topology, f *Flow) units.Bytes {
 		a += l.Buffer + units.BytesAtRate(l.Rate, l.PropDelay) + f.PacketSize
 	}
 	return a
+}
+
+// TCPGoodputFraction is the fraction of its reserved rate ρ an
+// admitted TCP flow must achieve as goodput on an all-guaranteed route
+// (the tcp-goodput-floor assertion). The paper-faithful expectation is
+// the full proportional share R·ρᵢ/Σρⱼ ≥ ρᵢ; the asserted floor is
+// deliberately conservative at ρ/2 to absorb slow-start ramp-up and
+// ACK-clocking transients on short horizons.
+const TCPGoodputFraction = 0.5
+
+// guaranteedRoute reports whether every hop of the flow's forward
+// route runs a scheme the paper's per-flow protection claim covers
+// (fifo/wfq scheduling with threshold/sharing buffer management).
+func guaranteedRoute(t *Topology, f *Flow) bool {
+	for _, li := range f.Route {
+		l := &t.Links[li]
+		switch l.scheme.SchedulerName() {
+		case "fifo", "wfq":
+		default:
+			return false
+		}
+		switch l.scheme.ManagerName() {
+		case "threshold", "sharing":
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // sustained reports whether the flow's source keeps its leaky bucket

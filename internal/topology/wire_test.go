@@ -95,3 +95,47 @@ func TestParseRejectsDoubleEncoding(t *testing.T) {
 		}
 	}
 }
+
+// TestParseWireEventTimes: timeline times accept the suffixed wire
+// encoding ("250ms", "1s") alongside bare numeric seconds, sharing the
+// units.Time parser with flow specs, and survive a Write round trip.
+func TestParseWireEventTimes(t *testing.T) {
+	src := `{
+  "name": "evt",
+  "links": [
+    {"from": "a", "to": "b", "rate_mbps": 48, "buffer_kb": 600}
+  ],
+  "flows": [
+    {"name": "f0", "route": ["a", "b"], "source": "cbr",
+     "peak_mbps": 6, "token_mbps": 2, "bucket_kb": 60}
+  ],
+  "events": [
+    {"at": "250ms", "type": "rate", "link": "a->b", "rate_mbps": 24},
+    {"at": 1, "type": "rate", "link": "a->b", "rate_mbps": 48},
+    {"at": "1.5s", "type": "fail", "link": "a->b"}
+  ]
+}`
+	tw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 1, 1.5}
+	for i, w := range want {
+		if tw.Events[i].At != w {
+			t.Errorf("event %d: at=%v, want %v", i, tw.Events[i].At, w)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse written scenario: %v", err)
+	}
+	for i, w := range want {
+		if back.Events[i].At != w {
+			t.Errorf("round trip event %d: at=%v, want %v", i, back.Events[i].At, w)
+		}
+	}
+}

@@ -20,7 +20,7 @@ func ExampleGenerate() {
 	fmt.Printf("%s: %d flows, %d links, %d events\n",
 		sc.Topo.Name, len(sc.Topo.Flows), len(sc.Topo.Links), len(sc.Topo.Events))
 	// Output:
-	// fuzz-churn-5: 4 flows, 1 links, 2 events
+	// fuzz-tcp-5: 3 flows, 2 links, 0 events
 }
 
 // The oracle library is ordered and named; qfuzz -oracle selects a
@@ -49,8 +49,9 @@ func ExampleFuzz() {
 	validate.WriteSummary(os.Stdout, sum)
 	// Output:
 	// fuzz: 4 cases finished (of 4), seed 3, 2s horizon
-	//   kind single-link           3 cases
+	//   kind differential          1 cases
+	//   kind single-link           2 cases
 	//   kind tandem                1 cases
-	//   assertions checked: 64
+	//   assertions checked: 81
 	//   all oracles passed
 }

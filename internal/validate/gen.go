@@ -34,6 +34,11 @@ const (
 	// KindChurn adds a timeline: late joins, leaves, and occasionally a
 	// bandwidth-limited hog that admission control must reject (§2.3).
 	KindChurn Kind = "churn"
+	// KindTCP is the closed-loop family: a guaranteed bottleneck with a
+	// reverse link, carrying 2–4 TCP sources with asymmetric
+	// reservations. It exercises the feedback path (ACKs, drop
+	// notifications, retransmissions) and the tcp-goodput-floor oracle.
+	KindTCP Kind = "tcp"
 	// KindRegistry draws an arbitrary spec from the full scheme registry
 	// (RED, DRR, hybrid, …). Such links carry no zero-loss guarantee, so
 	// only the scheme-independent oracles (conservation, rejection
@@ -83,14 +88,16 @@ func Generate(seed int64, cfg GenConfig) (*Scenario, error) {
 		sc = genBroken(rng, cfg.ThresholdScale)
 	} else {
 		switch x := rng.Float64(); {
-		case x < 0.30:
+		case x < 0.26:
 			sc = genSingleLink(rng, KindSingleLink)
-		case x < 0.50:
+		case x < 0.44:
 			sc = genDifferential(rng)
-		case x < 0.75:
+		case x < 0.64:
 			sc = genTandem(rng)
-		case x < 0.90:
+		case x < 0.78:
 			sc = genChurn(rng)
+		case x < 0.92:
+			sc = genTCP(rng)
 		default:
 			sc = genRegistry(rng)
 		}
@@ -435,6 +442,61 @@ func genChurn(rng *rand.Rand) *Scenario {
 		)
 	}
 	return sc
+}
+
+// genTCP builds the closed-loop family: one guaranteed bottleneck
+// src -> dst with a reverse link dst -> src carrying acknowledgements,
+// and 2–4 TCP flows with asymmetric reservations. Utilization stays at
+// or below 0.6 and the buffer is generous (admission must accept every
+// flow), so the goodput-floor oracle's ρ/2 bar is comfortably clear of
+// slow-start transients over the 2 s default horizon.
+func genTCP(rng *rand.Rand) *Scenario {
+	route := []string{"src", "dst"}
+	n := 2 + rng.Intn(3)
+	var flows []topology.Flow
+	for i := 0; i < n; i++ {
+		// Asymmetric reservations: each flow doubles the previous band,
+		// so big and small windows compete across a wide ρ spread.
+		lo := 0.5 * float64(int(1)<<i)
+		flows = append(flows, topology.Flow{
+			Name:       fmt.Sprintf("tcp%d", i),
+			RouteNodes: route,
+			Spec: packet.FlowSpec{
+				TokenRate:  units.MbitsPerSecond(unif(rng, lo, 2*lo)),
+				BucketSize: units.KiloBytes(unif(rng, 8, 16)),
+			},
+			Source: topology.SourceTCP,
+		})
+	}
+	_, rho := reservedTotals(flows)
+	u := unif(rng, 0.4, 0.6)
+	r := units.Rate(rho.BitsPerSecond() / u)
+	bmin, err := core.RequiredBufferFIFO(flowSpecs(flows), r)
+	if err != nil {
+		panic(fmt.Sprintf("validate: tcp generator: u=%v below 1 yet bandwidth limited: %v", u, err))
+	}
+	spec := guaranteedSpecs[rng.Intn(len(guaranteedSpecs))]
+	buf := units.Bytes(float64(bmin) * unif(rng, 1.8, 3.0))
+	prop := unif(rng, 1e-4, 1e-3)
+	links := []topology.Link{
+		{From: "src", To: "dst", Rate: r, Buffer: buf, PropDelay: prop, Spec: spec},
+		// The reverse link carries only 40-byte ACKs; same provisioning
+		// keeps it trivially uncongested.
+		{From: "dst", To: "src", Rate: r, Buffer: buf, PropDelay: prop, Spec: spec},
+	}
+	if scheme.MustParse(spec).ManagerName() == "sharing" {
+		h := units.Bytes(float64(buf) * unif(rng, 0.3, 0.5))
+		links[0].Headroom = h
+		links[1].Headroom = h
+	}
+	return &Scenario{
+		Kind: KindTCP,
+		Topo: &topology.Topology{
+			Description: "generated: closed-loop tcp over a guaranteed bottleneck",
+			Links:       links,
+			Flows:       flows,
+		},
+	}
 }
 
 func indexOf(xs []int, v int) int {

@@ -85,6 +85,12 @@ func Oracles() []Oracle {
 			Check:    checkHybridSavings,
 		},
 		{
+			Name:     "tcp-goodput-floor",
+			Citation: "GFR comparison (PAPERS.md: Goyal et al., rate guarantees to TCP); §3 thresholds under feedback",
+			Doc:      "an admitted closed-loop TCP flow on a guaranteed route achieves goodput ≥ ρ/2 over its active window",
+			Check:    checkTCPGoodputFloor,
+		},
+		{
 			Name:     "shard-equivalence",
 			Citation: "determinism contract, §5 scaling discussion",
 			Doc:      "re-running the scenario on a 3-shard partitioned kernel reproduces the single-shard result bit for bit",
@@ -235,6 +241,37 @@ func checkReservedThroughput(_ context.Context, c *Case) []report.Assertion {
 			Detail: fmt.Sprintf("flow %s: ≥ ρ = %v over %.3gs", f.Name, f.Spec.TokenRate, active),
 			Err: check(fr.Delivered.Bytes >= want,
 				"delivered %v (%v), want ≥ %v", fr.Delivered.Bytes, fr.Throughput, want),
+		})
+	}
+	return as
+}
+
+// checkTCPGoodputFloor mirrors topology.Verify's closed-loop contract:
+// an admitted TCP flow on an all-guaranteed route must achieve goodput
+// of at least TCPGoodputFraction·ρ over its active window. Taildrop and
+// RED routes make no such promise, so the oracle skips them — which is
+// exactly what lets the nightly campaign use them as controls.
+func checkTCPGoodputFloor(_ context.Context, c *Case) []report.Assertion {
+	t := c.Scenario.Topo
+	var as []report.Assertion
+	for fi := range t.Flows {
+		f := &t.Flows[fi]
+		fr := &c.Result.Flows[fi]
+		if f.Source != topology.SourceTCP {
+			continue
+		}
+		if !fr.Admitted || fr.Degraded || fr.Left || !routeGuaranteed(t, f) {
+			continue
+		}
+		active := fr.LeaveAt - fr.JoinAt
+		want := units.Bytes(topology.TCPGoodputFraction*
+			float64(units.BytesAtRate(f.Spec.TokenRate, active))) - allowanceFor(t, f)
+		as = append(as, report.Assertion{
+			Name: "tcp-goodput-floor",
+			Detail: fmt.Sprintf("flow %s: goodput ≥ %.2g·ρ = %.2g·%v over %.3gs",
+				f.Name, topology.TCPGoodputFraction, topology.TCPGoodputFraction, f.Spec.TokenRate, active),
+			Err: check(fr.Goodput.Bytes >= want,
+				"goodput %v (%v), want ≥ %v", fr.Goodput.Bytes, fr.GoodputRate, want),
 		})
 	}
 	return as

@@ -20,6 +20,7 @@ func cloneTopology(t *topology.Topology) *topology.Topology {
 	for i := range c.Flows {
 		c.Flows[i].RouteNodes = append([]string(nil), t.Flows[i].RouteNodes...)
 		c.Flows[i].Route = nil
+		c.Flows[i].ReverseRoute = nil
 	}
 	c.Events = append([]topology.Event(nil), t.Events...)
 	return c

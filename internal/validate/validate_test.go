@@ -22,7 +22,7 @@ func TestGenerateValid(t *testing.T) {
 		}
 		kinds[sc.Kind]++
 	}
-	for _, k := range []Kind{KindSingleLink, KindDifferential, KindTandem, KindChurn, KindRegistry} {
+	for _, k := range []Kind{KindSingleLink, KindDifferential, KindTandem, KindChurn, KindTCP, KindRegistry} {
 		if kinds[k] == 0 {
 			t.Errorf("300 seeds never produced kind %s (got %v)", k, kinds)
 		}
@@ -136,6 +136,54 @@ func TestFuzzBrokenThreshold(t *testing.T) {
 	}
 	if len(ents) != 2 {
 		t.Errorf("repro dir has %d files, want 2", len(ents))
+	}
+}
+
+// TestTCPFamilyGoodputOracle: generated closed-loop scenarios must
+// admit every flow and clear the goodput floor on guaranteed routes.
+func TestTCPFamilyGoodputOracle(t *testing.T) {
+	var oracle Oracle
+	for _, o := range Oracles() {
+		if o.Name == "tcp-goodput-floor" {
+			oracle = o
+		}
+	}
+	if oracle.Check == nil {
+		t.Fatal("tcp-goodput-floor missing from the oracle catalogue")
+	}
+	checked := 0
+	for seed := int64(0); seed < 60 && checked < 3; seed++ {
+		sc, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Kind != KindTCP {
+			continue
+		}
+		checked++
+		opts := topology.Options{Duration: 2, Seed: seed}
+		res, err := topology.Run(context.Background(), sc.Topo, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for fi := range res.Flows {
+			if !res.Flows[fi].Admitted {
+				t.Errorf("seed %d: flow %s rejected; the tcp family must stay inside the admission region",
+					seed, sc.Topo.Flows[fi].Name)
+			}
+		}
+		as := oracle.Check(context.Background(), &Case{Scenario: sc, Opts: opts, Result: &res})
+		if len(as) != len(sc.Topo.Flows) {
+			t.Errorf("seed %d: %d goodput assertions for %d tcp flows", seed, len(as), len(sc.Topo.Flows))
+		}
+		for _, a := range as {
+			if a.Err != nil {
+				t.Errorf("seed %d: %s: %v", seed, a.Detail, a.Err)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("60 seeds never produced a tcp scenario")
 	}
 }
 
