@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke tcp-smoke fuzz-smoke fuzz-nightly docs-check qosd-smoke bench-qosd
+.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke tcp-smoke fuzz-smoke fuzz-nightly docs-check qosd-smoke bench-qosd comp-smoke
 
 verify: build vet test race
 
@@ -29,6 +29,8 @@ race:
 	go test -race -short -run 'TestParallel|TestPool|TestSweepCancel|TestMetricsDeterministic' ./internal/experiment
 	go test -race -run 'TestShardEquivalence|TestRunMergesDeterministically' ./internal/topology ./internal/shard
 	go test -race ./internal/qosd ./internal/core
+	go test -race ./internal/online
+	go test -race -run 'TestCompeteDeterministicAcrossWorkers' ./internal/validate
 
 # Record a benchmark baseline, e.g. `make bench > results/bench-$(date +%F).txt`.
 bench:
@@ -131,6 +133,28 @@ fuzz-nightly:
 		-out /tmp/bufqos-broken-repros >/dev/null; then \
 		echo "qfuzz -threshold-scale 0.9 did not fail: necessity lost"; exit 1; \
 	else echo "weakened thresholds correctly caught"; fi
+
+# Competitive-analysis gate: the default qcomp sweep must hold every
+# proven bound (-check exits 1 otherwise), and two passes at different
+# worker counts must produce byte-identical reports. CI runs this on
+# every push; the committed BENCH_competitive.json is the same sweep.
+comp-smoke:
+	@set -e; \
+	go build -o /tmp/bufqos-qcomp ./cmd/qcomp; \
+	/tmp/bufqos-qcomp -check -workers 1 -out /tmp/bufqos-comp-1.json; \
+	/tmp/bufqos-qcomp -check -workers 4 -out /tmp/bufqos-comp-4.json; \
+	c1=$$(sha256sum /tmp/bufqos-comp-1.json | cut -d' ' -f1); \
+	c4=$$(sha256sum /tmp/bufqos-comp-4.json | cut -d' ' -f1); \
+	if [ "$$c1" != "$$c4" ]; then \
+		echo "comp-smoke: worker-1 and worker-4 reports diverge"; \
+		diff /tmp/bufqos-comp-1.json /tmp/bufqos-comp-4.json; exit 1; \
+	fi; \
+	if ! cmp -s /tmp/bufqos-comp-1.json BENCH_competitive.json; then \
+		echo "comp-smoke: committed BENCH_competitive.json is stale"; \
+		echo "regenerate with: go run ./cmd/qcomp -out BENCH_competitive.json -check"; \
+		exit 1; \
+	fi; \
+	echo "comp-smoke: ok (sha256 $$c1)"
 
 # Documentation drift gate: the README scheme catalogue and CLI table
 # and the EXPERIMENTS.md oracle catalogue are pinned to the code by

@@ -1,0 +1,122 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomInstance draws a tiny instance suitable for brute-force
+// verification.
+func randomInstance(r *rand.Rand, model Model) *Instance {
+	in := &Instance{
+		Name:   "random",
+		Model:  model,
+		Queues: 1 + r.Intn(3),
+		Buffer: 1 + r.Intn(3),
+	}
+	n := 1 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		in.Arrivals = append(in.Arrivals, Arrival{
+			At:    r.Intn(5),
+			Queue: r.Intn(in.Queues),
+			Value: float64(1 + r.Intn(5)),
+		})
+	}
+	return in
+}
+
+// TestOptMatchesBruteForce is the satellite solver check: the min-cost
+// max-flow optimum must agree exactly with exhaustive enumeration on
+// tiny instances (≤ 8 packets) in both models.
+func TestOptMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, model := range []Model{ModelShared, ModelMultiQueue} {
+		for trial := 0; trial < 200; trial++ {
+			in := randomInstance(r, model)
+			got, err := Opt(in)
+			if err != nil {
+				t.Fatalf("%s trial %d: Opt: %v", model, trial, err)
+			}
+			want, err := BruteForceOpt(in)
+			if err != nil {
+				t.Fatalf("%s trial %d: BruteForceOpt: %v", model, trial, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s trial %d: Opt=%v, brute force=%v on %+v", model, trial, got, want, in)
+			}
+		}
+	}
+}
+
+func TestOptEmptyInstance(t *testing.T) {
+	in := &Instance{Model: ModelShared, Queues: 1, Buffer: 1}
+	got, err := Opt(in)
+	if err != nil || got != 0 {
+		t.Fatalf("Opt(empty) = %v, %v; want 0, nil", got, err)
+	}
+}
+
+// TestOptSharedHand pins the solver on a hand-checked shared-buffer
+// instance: B ones followed by B alphas in the same step retain only B
+// packets, and the optimum keeps the alphas.
+func TestOptSharedHand(t *testing.T) {
+	const b, alpha = 3, 10.0
+	in := &Instance{Model: ModelShared, Queues: 1, Buffer: b}
+	for i := 0; i < b; i++ {
+		in.Arrivals = append(in.Arrivals, Arrival{At: 0, Queue: 0, Value: 1})
+	}
+	for i := 0; i < b; i++ {
+		in.Arrivals = append(in.Arrivals, Arrival{At: 0, Queue: 0, Value: alpha})
+	}
+	got, err := Opt(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(b) * alpha; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Opt = %v, want %v", got, want)
+	}
+}
+
+// TestOptMultiQueueHand pins the solver on the classic B=1 lower-bound
+// sequence for m=3 (fill all queues, then re-hit the unserved ones):
+// the optimum schedules 2m−1 = 5 of the 6 packets.
+func TestOptMultiQueueHand(t *testing.T) {
+	in := &Instance{
+		Model:  ModelMultiQueue,
+		Queues: 3,
+		Buffer: 1,
+		Arrivals: []Arrival{
+			{At: 0, Queue: 0, Value: 1},
+			{At: 0, Queue: 1, Value: 1},
+			{At: 0, Queue: 2, Value: 1},
+			{At: 1, Queue: 1, Value: 1},
+			{At: 1, Queue: 2, Value: 1},
+			{At: 2, Queue: 2, Value: 1},
+		},
+	}
+	got, err := Opt(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("Opt = %v, want 5 (= 2m−1)", got)
+	}
+}
+
+func TestBruteForceRefusesLargeInstances(t *testing.T) {
+	in := &Instance{Model: ModelShared, Queues: 1, Buffer: 1}
+	for i := 0; i < maxBruteForceArrivals+1; i++ {
+		in.Arrivals = append(in.Arrivals, Arrival{At: i, Value: 1})
+	}
+	if _, err := BruteForceOpt(in); err == nil {
+		t.Fatal("BruteForceOpt accepted an oversized instance")
+	}
+}
+
+func TestOptRejectsInvalidInstance(t *testing.T) {
+	in := &Instance{Model: "bogus", Queues: 1, Buffer: 1}
+	if _, err := Opt(in); err == nil {
+		t.Fatal("Opt accepted an unknown model")
+	}
+}

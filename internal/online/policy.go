@@ -1,0 +1,343 @@
+package online
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algo is one running policy over an abstract instance. The harness
+// (or an adaptive adversary) drives it step by step: all of a step's
+// arrivals are offered in order, then Transmit is called once.
+type Algo interface {
+	// Arrive offers a unit packet; it reports whether the packet was
+	// kept (possibly after preempting a buffered one).
+	Arrive(a Arrival) bool
+	// Transmit removes and returns the packet the policy's service
+	// discipline sends this step; ok is false when every buffer is
+	// empty.
+	Transmit() (a Arrival, ok bool)
+	// Backlog returns the number of buffered packets.
+	Backlog() int
+}
+
+// Policy is one registered online buffer-management policy.
+type Policy struct {
+	// Name is the stable identifier used by qcomp -policies.
+	Name string
+	// Model is the buffer discipline the policy is defined over.
+	Model Model
+	// Doc is a one-line description.
+	Doc string
+	// Bound is the proven competitive-ratio upper bound (OPT/ALG never
+	// exceeds it on any sequence); 0 means no finite bound is known.
+	Bound float64
+	// Cite anchors the bound in the literature.
+	Cite string
+	// New builds a fresh run over the given geometry.
+	New func(queues, buffer int) Algo
+}
+
+// Policies returns the policy registry in catalogue order.
+func Policies() []Policy {
+	return []Policy{
+		{
+			Name:  "greedy",
+			Model: ModelShared,
+			Doc:   "value-aware preemptive greedy: admit when room, else preempt the newest minimum-value packet if the arrival is worth more",
+			Bound: 2,
+			Cite:  "Kesselman et al., Buffer Overflow Management in QoS Switches (the baseline of arXiv:1103.6049)",
+			New: func(_, buffer int) Algo {
+				return &sharedGreedy{buffer: buffer, preemptive: true}
+			},
+		},
+		{
+			Name:  "greedy-np",
+			Model: ModelShared,
+			Doc:   "non-preemptive greedy: admit exactly when room; never evicts, so it is only Θ(α)-competitive on two-value (1, α) sequences",
+			Bound: 0,
+			Cite:  "two-value lower bound, arXiv:1103.6049 §1 related work",
+			New: func(_, buffer int) Algo {
+				return &sharedGreedy{buffer: buffer}
+			},
+		},
+		{
+			Name:  "cseg",
+			Model: ModelShared,
+			Doc:   "class-segregated greedy: per-class FIFO queues over the shared buffer, highest class served first, overflow preempts the newest packet of the lowest buffered class",
+			Bound: 2,
+			Cite:  "Al-Bawani & Souza, Buffer Overflow Management with Class Segregation (arXiv:1103.6049)",
+			New: func(queues, buffer int) Algo {
+				return newClassSegAlgo(queues, buffer)
+			},
+		},
+		{
+			Name:  "lqf",
+			Model: ModelMultiQueue,
+			Doc:   "longest queue first: admit when the packet's queue has room, serve the longest queue (ties to the lowest index)",
+			Bound: 2,
+			Cite:  "work-conserving bound, Azar & Richter (cited by arXiv:1007.1535); no deterministic policy beats 2−1/m at B=1",
+			New: func(queues, buffer int) Algo {
+				return newMultiQueueAlgo(queues, buffer, false)
+			},
+		},
+		{
+			Name:  "semigreedy",
+			Model: ModelMultiQueue,
+			Doc:   "semi-greedy LQF: serve the fullest queue that is above half capacity, otherwise the queue with the oldest head packet",
+			Bound: 2,
+			Cite:  "semi-greedy family, Azar & Richter (cited by arXiv:1007.1535)",
+			New: func(queues, buffer int) Algo {
+				return newMultiQueueAlgo(queues, buffer, true)
+			},
+		},
+	}
+}
+
+// PolicyByName resolves a registry name.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Policy{}, fmt.Errorf("online: unknown policy %q (have %s)", name, PolicyNames())
+}
+
+// PolicyNames returns the registered names in catalogue order.
+func PolicyNames() []string {
+	var names []string
+	for _, p := range Policies() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Run replays the instance through the policy and returns the benefit
+// (total value transmitted). The instance is validated (which sorts
+// arrivals by time); each step offers the step's arrivals in sequence
+// order, then transmits once; after the last arrival the buffers
+// drain.
+func Run(p Policy, in *Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if p.Model != in.Model {
+		return 0, fmt.Errorf("online: policy %s is a %s-model policy, instance %s is %s", p.Name, p.Model, in.Name, in.Model)
+	}
+	algo := p.New(in.Queues, in.Buffer)
+	var benefit float64
+	i := 0
+	for t := 0; ; t++ {
+		for i < len(in.Arrivals) && in.Arrivals[i].At == t {
+			algo.Arrive(in.Arrivals[i])
+			i++
+		}
+		if a, ok := algo.Transmit(); ok {
+			benefit += a.Value
+		}
+		if i >= len(in.Arrivals) && algo.Backlog() == 0 {
+			return benefit, nil
+		}
+	}
+}
+
+// Outcome is one measured policy-vs-optimum comparison.
+type Outcome struct {
+	// ALG is the policy's benefit, OPT the offline optimum's.
+	ALG, OPT float64
+	// Ratio is OPT/ALG (math.Inf(1) when ALG is 0 and OPT is not).
+	Ratio float64
+}
+
+// Evaluate runs the policy and the exact offline solver on the same
+// instance and returns the empirical competitive ratio.
+func Evaluate(p Policy, in *Instance) (Outcome, error) {
+	alg, err := Run(p, in)
+	if err != nil {
+		return Outcome{}, err
+	}
+	opt, err := Opt(in)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{ALG: alg, OPT: opt, Ratio: ratio(opt, alg)}, nil
+}
+
+func ratio(opt, alg float64) float64 {
+	switch {
+	case alg > 0:
+		return opt / alg
+	case opt > 0:
+		return math.Inf(1)
+	default:
+		return 1
+	}
+}
+
+// sharedGreedy is the single shared FIFO buffer of the value model,
+// with or without preemption.
+type sharedGreedy struct {
+	buffer     int
+	preemptive bool
+	q          []Arrival
+}
+
+// Arrive implements Algo.
+func (g *sharedGreedy) Arrive(a Arrival) bool {
+	if len(g.q) < g.buffer {
+		g.q = append(g.q, a)
+		return true
+	}
+	if !g.preemptive {
+		return false
+	}
+	// Preempt the newest minimum-value packet, but only for a strictly
+	// more valuable arrival.
+	min := -1
+	for i, b := range g.q {
+		if min < 0 || b.Value <= g.q[min].Value {
+			min = i
+		}
+	}
+	if min < 0 || g.q[min].Value >= a.Value {
+		return false
+	}
+	g.q = append(g.q[:min], g.q[min+1:]...)
+	g.q = append(g.q, a)
+	return true
+}
+
+// Transmit implements Algo (FIFO service).
+func (g *sharedGreedy) Transmit() (Arrival, bool) {
+	if len(g.q) == 0 {
+		return Arrival{}, false
+	}
+	a := g.q[0]
+	g.q = g.q[1:]
+	return a, true
+}
+
+// Backlog implements Algo.
+func (g *sharedGreedy) Backlog() int { return len(g.q) }
+
+// classSegAlgo segregates the shared buffer by class: one FIFO queue
+// per class, strict-priority service (highest class first), greedy
+// admission that preempts the newest packet of the lowest buffered
+// class when the shared buffer overflows with a higher-class arrival.
+type classSegAlgo struct {
+	buffer int
+	qs     [][]Arrival
+	total  int
+}
+
+func newClassSegAlgo(classes, buffer int) *classSegAlgo {
+	return &classSegAlgo{buffer: buffer, qs: make([][]Arrival, classes)}
+}
+
+// Arrive implements Algo.
+func (c *classSegAlgo) Arrive(a Arrival) bool {
+	if c.total < c.buffer {
+		c.qs[a.Queue] = append(c.qs[a.Queue], a)
+		c.total++
+		return true
+	}
+	// Preempt from the lowest nonempty class strictly below the
+	// arrival's class.
+	for cls := 0; cls < a.Queue; cls++ {
+		if n := len(c.qs[cls]); n > 0 {
+			c.qs[cls] = c.qs[cls][:n-1]
+			c.qs[a.Queue] = append(c.qs[a.Queue], a)
+			return true
+		}
+	}
+	return false
+}
+
+// Transmit implements Algo: strict priority, FIFO within a class.
+func (c *classSegAlgo) Transmit() (Arrival, bool) {
+	for cls := len(c.qs) - 1; cls >= 0; cls-- {
+		if len(c.qs[cls]) > 0 {
+			a := c.qs[cls][0]
+			c.qs[cls] = c.qs[cls][1:]
+			c.total--
+			return a, true
+		}
+	}
+	return Arrival{}, false
+}
+
+// Backlog implements Algo.
+func (c *classSegAlgo) Backlog() int { return c.total }
+
+// multiQueueAlgo is the multi-queue switch: per-queue B-slot buffers,
+// non-preemptive admission, one transmission per step from the queue
+// the service rule picks.
+type multiQueueAlgo struct {
+	buffer int
+	semi   bool
+	qs     [][]Arrival
+	total  int
+	// seq orders heads for the semi-greedy oldest-head rule; ties in
+	// At are broken by arrival order.
+	seq  int
+	seqs [][]int
+}
+
+func newMultiQueueAlgo(queues, buffer int, semi bool) *multiQueueAlgo {
+	return &multiQueueAlgo{
+		buffer: buffer,
+		semi:   semi,
+		qs:     make([][]Arrival, queues),
+		seqs:   make([][]int, queues),
+	}
+}
+
+// Arrive implements Algo.
+func (m *multiQueueAlgo) Arrive(a Arrival) bool {
+	if len(m.qs[a.Queue]) >= m.buffer {
+		return false
+	}
+	m.qs[a.Queue] = append(m.qs[a.Queue], a)
+	m.seqs[a.Queue] = append(m.seqs[a.Queue], m.seq)
+	m.seq++
+	m.total++
+	return true
+}
+
+// Transmit implements Algo.
+func (m *multiQueueAlgo) Transmit() (Arrival, bool) {
+	if m.total == 0 {
+		return Arrival{}, false
+	}
+	pick := -1
+	if m.semi {
+		// Serve the fullest queue strictly above half capacity…
+		for q := range m.qs {
+			if 2*len(m.qs[q]) > m.buffer && (pick < 0 || len(m.qs[q]) > len(m.qs[pick])) {
+				pick = q
+			}
+		}
+		// …otherwise the queue whose head packet has waited longest.
+		if pick < 0 {
+			for q := range m.qs {
+				if len(m.qs[q]) > 0 && (pick < 0 || m.seqs[q][0] < m.seqs[pick][0]) {
+					pick = q
+				}
+			}
+		}
+	} else {
+		for q := range m.qs {
+			if len(m.qs[q]) > 0 && (pick < 0 || len(m.qs[q]) > len(m.qs[pick])) {
+				pick = q
+			}
+		}
+	}
+	a := m.qs[pick][0]
+	m.qs[pick] = m.qs[pick][1:]
+	m.seqs[pick] = m.seqs[pick][1:]
+	m.total--
+	return a, true
+}
+
+// Backlog implements Algo.
+func (m *multiQueueAlgo) Backlog() int { return m.total }

@@ -32,6 +32,17 @@ type Link struct {
 
 	mServed      *metrics.Counter // nil unless instrumented
 	mServedBytes *metrics.Counter
+	mPushouts    *metrics.Counter
+}
+
+// PushoutNotifier is implemented by combined queue/manager types that
+// evict already-queued packets (PushoutFIFO and the online class
+// policies). NewLink registers a callback with such schedulers so
+// every victim is counted as a drop — in the statistics collector, the
+// pushout counter, and the OnDrop hook — keeping packet conservation
+// (offered = departed + dropped + queued) intact.
+type PushoutNotifier interface {
+	SetOnPushout(fn func(p *packet.Packet))
 }
 
 // Instrument registers per-scheme service counters with r: packets and
@@ -44,6 +55,9 @@ func (l *Link) Instrument(r *metrics.Registry, scheme string) {
 	}
 	l.mServed = r.Counter("sched.served_packets." + scheme)
 	l.mServedBytes = r.Counter("sched.served_bytes." + scheme)
+	if _, ok := l.sched.(PushoutNotifier); ok {
+		l.mPushouts = r.Counter("sched.pushouts." + scheme)
+	}
 	if in, ok := l.sched.(interface{ Instrument(*metrics.Registry) }); ok {
 		in.Instrument(r)
 	}
@@ -58,7 +72,22 @@ func NewLink(s *sim.Simulator, rate units.Rate, sched Scheduler, mgr buffer.Mana
 	if sched == nil || mgr == nil {
 		panic("link: nil scheduler or buffer manager")
 	}
-	return &Link{sim: s, rate: rate, sched: sched, mgr: mgr, col: col}
+	l := &Link{sim: s, rate: rate, sched: sched, mgr: mgr, col: col}
+	if pn, ok := sched.(PushoutNotifier); ok {
+		// Fields are read at pushout time, so counters registered by a
+		// later Instrument call and OnDrop hooks set after construction
+		// are honoured.
+		pn.SetOnPushout(func(p *packet.Packet) {
+			l.mPushouts.Inc()
+			if l.col != nil {
+				l.col.Dropped(p, l.sim.Now())
+			}
+			if l.OnDrop != nil {
+				l.OnDrop(p)
+			}
+		})
+	}
+	return l
 }
 
 // Rate returns the link rate.

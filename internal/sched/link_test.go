@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bufqos/internal/buffer"
+	"bufqos/internal/metrics"
 	"bufqos/internal/packet"
 	"bufqos/internal/sim"
 	"bufqos/internal/source"
@@ -262,5 +263,58 @@ func TestLinkInFlightPacketCompletesAcrossFailure(t *testing.T) {
 	s.Run(0)
 	if got := col.Flow(0).Departed.Total().Packets; got != 2 {
 		t.Errorf("departures after recovery: %d, want 2", got)
+	}
+}
+
+// TestLinkCountsPushoutsAsDrops is the pushout drop-accounting
+// regression test: victims evicted by a PushoutNotifier scheduler must
+// show up in the statistics collector, the sched.pushouts metric, and
+// the OnDrop hook, so packet conservation (offered = departed +
+// dropped + queued) holds for pushout schemes.
+func TestLinkCountsPushoutsAsDrops(t *testing.T) {
+	s := sim.New()
+	col := stats.NewCollector(2, 0)
+	// Two flows share a 2000-byte buffer; flow 1 is guaranteed the
+	// whole of it, flow 0 nothing — so flow 1 arrivals push out flow 0.
+	po := NewPushoutFIFO(2000, []units.Bytes{0, 2000})
+	link := NewLink(s, units.MbitsPerSecond(8), po, po, col)
+	reg := metrics.NewRegistry()
+	link.Instrument(reg, "pushout")
+	var hooked int
+	link.OnDrop = func(p *packet.Packet) { hooked++ }
+
+	// Fill the buffer with flow-0 packets (first is dequeued into
+	// service immediately), then overflow with flow 1.
+	for i := 0; i < 5; i++ {
+		link.Receive(&packet.Packet{Flow: 0, Size: 500})
+	}
+	for i := 0; i < 4; i++ {
+		link.Receive(&packet.Packet{Flow: 1, Size: 500})
+	}
+	// The 5th flow-0 packet tail-drops (flow 0 has no share). Three of
+	// the four flow-1 arrivals evict the three queued flow-0 packets;
+	// the fourth finds only the in-service packet and tail-drops. So
+	// flow 0 loses 4 packets total (1 tail drop + 3 pushouts), and the
+	// OnDrop hook sees every loss either way (2 tail drops + 3
+	// pushouts).
+	f0 := col.Flow(0)
+	if got := f0.Dropped.Total().Packets; got != 4 {
+		t.Errorf("flow 0 dropped %d packets in the collector, want 4 (1 tail drop + 3 pushouts)", got)
+	}
+	if got := reg.Counter("sched.pushouts.pushout").Value(); got != 3 {
+		t.Errorf("sched.pushouts.pushout = %d, want 3", got)
+	}
+	if hooked != 5 {
+		t.Errorf("OnDrop saw %d packets, want 5", hooked)
+	}
+	s.Run(0)
+	// Conservation across both flows: everything offered either
+	// departed or was dropped once the link drains.
+	for flow := 0; flow < 2; flow++ {
+		f := col.Flow(flow)
+		if f.Offered.Total().Packets != f.Departed.Total().Packets+f.Dropped.Total().Packets {
+			t.Errorf("flow %d: offered %d != departed %d + dropped %d", flow,
+				f.Offered.Total().Packets, f.Departed.Total().Packets, f.Dropped.Total().Packets)
+		}
 	}
 }

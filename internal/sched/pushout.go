@@ -57,6 +57,10 @@ func NewPushoutFIFO(capacity units.Bytes, shares []units.Bytes) *PushoutFIFO {
 	}
 }
 
+// SetOnPushout implements PushoutNotifier; it is equivalent to setting
+// the exported OnPushout field.
+func (po *PushoutFIFO) SetOnPushout(fn func(p *packet.Packet)) { po.OnPushout = fn }
+
 // --- buffer.Manager ---
 
 // Admit implements buffer.Manager. When the packet does not fit, a

@@ -60,8 +60,8 @@ func Parse(spec string) (*Scheme, error) {
 		return nil, fmt.Errorf("scheme %q: unknown buffer manager %q (known: %s)", spec, mgrTok, strings.Join(managerNames(), ", "))
 	}
 	s := &Scheme{sched: sd, mgr: md, k: k, params: params{}}
-	if sd.combined != nil && !hybridManagers[md.name] {
-		return nil, fmt.Errorf("scheme %q: hybrid supports none/threshold/sharing managers, not %q", spec, md.name)
+	if sd.combined != nil && !sd.allowedManagers[md.name] {
+		return nil, fmt.Errorf("scheme %q: scheduler %q composes only with %s managers, not %q", spec, sd.name, sd.allowedManagerNames(), md.name)
 	}
 	if hasParams {
 		if err := s.parseParams(spec, paramPart); err != nil {
@@ -230,7 +230,7 @@ func Specs() []string {
 	var out []string
 	for _, sd := range schedulers {
 		for _, md := range managers {
-			if sd.combined != nil && !hybridManagers[md.name] {
+			if sd.combined != nil && !sd.allowedManagers[md.name] {
 				continue
 			}
 			out = append(out, (&Scheme{sched: sd, mgr: md, params: params{}}).Spec())

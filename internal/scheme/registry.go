@@ -2,6 +2,7 @@ package scheme
 
 import (
 	"fmt"
+	"strings"
 
 	"bufqos/internal/buffer"
 	"bufqos/internal/core"
@@ -52,10 +53,27 @@ type schedulerDef struct {
 	popSensitive bool
 	params       []ParamDef
 	build        func(cfg Config, s *Scheme) (sched.Scheduler, error)
-	// combined, when set, builds manager and scheduler together (the
-	// hybrid architecture partitions the buffer per queue, so its
-	// manager depends on the scheduler's queue allocation).
+	// combined, when set, builds manager and scheduler together: the
+	// hybrid architecture partitions the buffer per queue, and the
+	// pushout/online policies ARE their own manager (preemption removes
+	// queued packets, which no manager/scheduler split can express).
 	combined func(cfg Config, s *Scheme) (buffer.Manager, sched.Scheduler, error)
+	// allowedManagers restricts which manager names compose with a
+	// combined scheduler (nil = any manager). Combined schedulers that
+	// bring their own admission policy accept only "none".
+	allowedManagers map[string]bool
+}
+
+// allowedManagerNames formats a combined scheduler's accepted manager
+// list for error messages, in catalogue order.
+func (sd *schedulerDef) allowedManagerNames() string {
+	var names []string
+	for _, md := range managers {
+		if sd.allowedManagers[md.name] {
+			names = append(names, md.name)
+		}
+	}
+	return strings.Join(names, "/")
 }
 
 // managerDef is one registered buffer manager.
@@ -99,6 +117,7 @@ var schedulers = []*schedulerDef{
 		combined: func(cfg Config, s *Scheme) (buffer.Manager, sched.Scheduler, error) {
 			return buildHybrid(cfg, s)
 		},
+		allowedManagers: hybridManagers,
 	},
 	{
 		name: "rpq", display: "RPQ",
@@ -150,6 +169,58 @@ var schedulers = []*schedulerDef{
 			return sched.NewVirtualClock(cfg.Now, tokenRates(cfg.Specs)), nil
 		},
 	},
+	{
+		name: "pushout", display: "pushout",
+		doc:   "protective pushout FIFO (combined queue/manager): when full, an under-share flow pushes out the newest packet of the most over-share flow",
+		paper: "ref [2]",
+		params: []ParamDef{
+			{Name: "share", Default: 0, Doc: "per-flow guaranteed share as a fraction of B; 0 derives the paper's σᵢ + ρᵢB/R thresholds"},
+		},
+		combined:        buildPushout,
+		allowedManagers: selfManaged,
+	},
+	{
+		name: "cgreedy", display: "cgreedy",
+		doc:             "preemptive class-greedy FIFO: when full, the newest lowest-class packet is pushed out for a higher-class arrival",
+		paper:           "arXiv:1103.6049",
+		params:          classesParam,
+		combined:        buildClassGreedy,
+		allowedManagers: selfManaged,
+	},
+	{
+		name: "classseg", display: "classseg",
+		doc:             "class-segregated FIFO queues over the shared buffer, strict-priority service, lowest-class pushout",
+		paper:           "arXiv:1103.6049",
+		params:          classesParam,
+		combined:        buildClassSeg,
+		allowedManagers: selfManaged,
+	},
+	{
+		name: "lqf", display: "LQF",
+		doc:             "longest-queue-first over per-class queues with byte quotas B/classes (multi-queue switch model)",
+		paper:           "arXiv:1007.1535",
+		params:          classesParam,
+		combined:        buildLQF,
+		allowedManagers: selfManaged,
+	},
+	{
+		name: "semigreedy", display: "semigreedy",
+		doc:             "semi-greedy LQF: serve the fullest class queue above half quota, otherwise the oldest head-of-line packet",
+		paper:           "arXiv:1007.1535",
+		params:          classesParam,
+		combined:        buildSemiGreedy,
+		allowedManagers: selfManaged,
+	},
+}
+
+// selfManaged marks combined schedulers that are their own admission
+// policy: they compose only with the no-op manager spec.
+var selfManaged = map[string]bool{"none": true}
+
+// classesParam is the shared tunable of the class-aware online
+// schemes.
+var classesParam = []ParamDef{
+	{Name: "classes", Default: 4, Doc: "number of service classes (flows map to classes by burst-to-rate ratio unless the topology assigns them)"},
 }
 
 // redSeedID is the DeriveSeed stream id reserved for RED's drop RNG; it
@@ -307,8 +378,8 @@ var hybridManagers = map[string]bool{"none": true, "threshold": true, "sharing":
 // and one manager per queue (sharing, fixed-threshold, or tail-drop
 // according to the spec's manager).
 func buildHybrid(cfg Config, s *Scheme) (buffer.Manager, sched.Scheduler, error) {
-	if !hybridManagers[s.mgr.name] {
-		return nil, nil, fmt.Errorf("scheme %s: hybrid supports none/threshold/sharing managers, not %q", s.Spec(), s.mgr.name)
+	if !s.sched.allowedManagers[s.mgr.name] {
+		return nil, nil, fmt.Errorf("scheme %s: hybrid supports %s managers, not %q", s.Spec(), s.sched.allowedManagerNames(), s.mgr.name)
 	}
 	if len(cfg.QueueOf) != len(cfg.Specs) {
 		return nil, nil, fmt.Errorf("scheme %s: hybrid needs QueueOf for every flow (%d maps for %d flows)", s.Spec(), len(cfg.QueueOf), len(cfg.Specs))

@@ -59,6 +59,12 @@ type Config struct {
 	// manager restricts borrowing for the others. Nil means all flows
 	// are adaptive.
 	Adaptive []bool
+	// Classes maps flows to service classes for the class-aware online
+	// schemes (cgreedy, classseg, lqf, semigreedy); higher class = more
+	// valuable. Nil derives classes from each flow's burst-to-rate
+	// ratio, smooth (telephony-like) flows landing in the most valuable
+	// classes.
+	Classes []int
 	// PacketSize is the MTU used by quantum-based schedulers (DRR).
 	// Zero defaults to 500 bytes, the paper's maximum packet size.
 	PacketSize units.Bytes

@@ -339,6 +339,7 @@ func newEngine(t *Topology, opts Options) (*engine, error) {
 	}
 
 	specs := t.Specs()
+	classes := t.Classes()
 	e.links = make([]*engineLink, len(t.Links))
 	for li := range t.Links {
 		l := &t.Links[li]
@@ -352,17 +353,25 @@ func newEngine(t *Topology, opts Options) (*engine, error) {
 			// Population-sensitive schemes (and links no flow traverses,
 			// whose builders reject an empty population) keep the global
 			// flow indexing.
-			cfg = l.schemeConfig(specs, seed)
+			cfg = l.schemeConfig(specs, classes, seed)
 		} else {
 			localSpecs := make([]packet.FlowSpec, len(locals))
+			var localClasses []int
+			if classes != nil {
+				localClasses = make([]int, len(locals))
+			}
 			for k, g := range locals {
 				localSpecs[k] = specs[g]
+				if localClasses != nil {
+					localClasses[k] = classes[g]
+				}
 			}
 			cfg = scheme.Config{
 				Specs:    localSpecs,
 				LinkRate: l.Rate,
 				Buffer:   l.Buffer,
 				Headroom: l.Headroom,
+				Classes:  localClasses,
 				Seed:     seed,
 			}
 			flows = locals
@@ -601,9 +610,11 @@ func (e *engine) startSource(fi int) {
 	el := e.links[f.Route[0]]
 	es := e.shards[el.shard]
 	entryID := int(e.hopEntry[e.ft.RouteOff[fi]])
+	class := int32(f.Class)
 	localize := source.SinkFunc(func(p *packet.Packet) {
 		p.Hop = 0
 		p.Flow = entryID
+		p.Class = class
 		el.link.Receive(p)
 	})
 	entry := source.Sink(countingSink{inner: localize, count: &e.res.Flows[fi].Offered})

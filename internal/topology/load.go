@@ -54,6 +54,7 @@ type jsonFlow struct {
 	PacketBytes float64  `json:"packet_bytes,omitempty"`
 	Source      string   `json:"source,omitempty"`
 	Shaped      bool     `json:"shaped,omitempty"`
+	Class       int      `json:"class,omitempty"`
 
 	// Spec is the wire-typed alternative to peak/token/bucket: the same
 	// {"peak","token","bucket"} contract object a qosd join carries.
@@ -151,6 +152,7 @@ func Parse(r io.Reader) (*Topology, error) {
 			MeanBurst:  units.Bytes(burst),
 			PacketSize: units.Bytes(pkt),
 			Shaped:     jf.Shaped,
+			Class:      jf.Class,
 		}
 		if jf.Spec != nil {
 			f.Spec = *jf.Spec

@@ -50,6 +50,7 @@ func Write(w io.Writer, t *Topology) error {
 			PacketBytes: float64(f.PacketSize),
 			Source:      string(f.Source),
 			Shaped:      f.Shaped,
+			Class:       f.Class,
 		})
 	}
 	for i := range t.Events {

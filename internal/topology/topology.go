@@ -106,6 +106,13 @@ type Flow struct {
 	// Shaped routes the source through a leaky-bucket shaper with the
 	// flow's profile, making its traffic conformant (Table 1 flows 0–5).
 	Shaped bool
+	// Class is the flow's service class for the class-aware online
+	// schemes (cgreedy, classseg, lqf, semigreedy); higher = more
+	// valuable. Packets carry it, and links running those schemes use
+	// it for admission and service decisions. When every flow leaves it
+	// 0, class-aware links derive classes from the declared profiles
+	// instead.
+	Class int
 }
 
 // EventKind enumerates the scenario timeline verbs.
@@ -193,16 +200,35 @@ func (t *Topology) JoinTime(id int) (float64, bool) {
 	return 0, false
 }
 
+// Classes returns the explicit flow→class map, in ID order, or nil
+// when no flow declares a class — the nil lets class-aware schemes fall
+// back to their profile-derived classification.
+func (t *Topology) Classes() []int {
+	any := false
+	classes := make([]int, len(t.Flows))
+	for i, f := range t.Flows {
+		classes[i] = f.Class
+		if f.Class != 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return classes
+}
+
 // schemeConfig assembles the scheme.Config for one link: the global
 // flow population plus the link's physical parameters. seed
 // differentiates randomized managers (RED) per link.
-func (l *Link) schemeConfig(specs []packet.FlowSpec, seed int64) scheme.Config {
+func (l *Link) schemeConfig(specs []packet.FlowSpec, classes []int, seed int64) scheme.Config {
 	return scheme.Config{
 		Specs:    specs,
 		LinkRate: l.Rate,
 		Buffer:   l.Buffer,
 		Headroom: l.Headroom,
 		QueueOf:  l.Queues,
+		Classes:  classes,
 		Seed:     seed,
 	}
 }
@@ -295,6 +321,9 @@ func (t *Topology) Validate() error {
 		default:
 			return fmt.Errorf("flow %s: unknown source kind %q (want onoff, greedy, cbr, or tcp)", f.Name, f.Source)
 		}
+		if f.Class < 0 {
+			return fmt.Errorf("flow %s: negative class %d", f.Name, f.Class)
+		}
 		if f.Source == SourceGreedy && !f.Shaped {
 			return fmt.Errorf("flow %s: a greedy source must be shaped (it saturates its leaky bucket)", f.Name)
 		}
@@ -349,12 +378,13 @@ func (t *Topology) Validate() error {
 	// so spec/population mismatches (hybrid queue maps, bad thresholds)
 	// fail at load time, not mid-run.
 	specs := t.Specs()
+	classes := t.Classes()
 	for i := range t.Links {
 		l := &t.Links[i]
 		if l.Queues != nil && len(l.Queues) != len(t.Flows) {
 			return fmt.Errorf("link %s: queue map covers %d flows, topology has %d", l.Name, len(l.Queues), len(t.Flows))
 		}
-		cfg := l.schemeConfig(specs, 0)
+		cfg := l.schemeConfig(specs, classes, 0)
 		cfg.Now = func() float64 { return 0 } // placeholder clock; the trial build is discarded
 		if _, _, err := l.scheme.Build(cfg); err != nil {
 			return fmt.Errorf("link %s: %w", l.Name, err)
