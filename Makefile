@@ -2,7 +2,7 @@
 # build + vet + full tests, then a short-mode race check of the
 # parallel sweep worker pool (including cancellation and shared-
 # registry metrics aggregation) so it stays race-clean.
-.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke tcp-smoke fuzz-smoke fuzz-nightly docs-check qosd-smoke bench-qosd comp-smoke
+.PHONY: verify build vet test race lint bench bench-json bench-smoke topo-smoke tcp-smoke fuzz-smoke fuzz-nightly docs-check qosd-smoke bench-qosd comp-smoke sizing-smoke
 
 verify: build vet test race
 
@@ -31,6 +31,7 @@ race:
 	go test -race ./internal/qosd ./internal/core
 	go test -race ./internal/online
 	go test -race -run 'TestCompeteDeterministicAcrossWorkers' ./internal/validate
+	go test -race -short ./internal/sizing
 
 # Record a benchmark baseline, e.g. `make bench > results/bench-$(date +%F).txt`.
 bench:
@@ -156,8 +157,32 @@ comp-smoke:
 	fi; \
 	echo "comp-smoke: ok (sha256 $$c1)"
 
-# Documentation drift gate: the README scheme catalogue and CLI table
-# and the EXPERIMENTS.md oracle catalogue are pinned to the code by
-# tests; this target runs exactly those.
+# Buffer-sizing gate: the default qsize sweep at worker counts 1 and 4
+# must produce byte-identical reports, the √n utilization floor must
+# hold (-check exits 1 otherwise), and the committed BENCH_sizing.json
+# must match a fresh run. CI runs this on every push.
+sizing-smoke:
+	@set -e; \
+	go build -o /tmp/bufqos-qsize ./cmd/qsize; \
+	/tmp/bufqos-qsize -check -workers 1 -out /tmp/bufqos-sizing-1.json >/dev/null; \
+	/tmp/bufqos-qsize -check -workers 4 -out /tmp/bufqos-sizing-4.json >/dev/null; \
+	c1=$$(sha256sum /tmp/bufqos-sizing-1.json | cut -d' ' -f1); \
+	c4=$$(sha256sum /tmp/bufqos-sizing-4.json | cut -d' ' -f1); \
+	if [ "$$c1" != "$$c4" ]; then \
+		echo "sizing-smoke: worker-1 and worker-4 reports diverge"; \
+		diff /tmp/bufqos-sizing-1.json /tmp/bufqos-sizing-4.json; exit 1; \
+	fi; \
+	if ! cmp -s /tmp/bufqos-sizing-1.json BENCH_sizing.json; then \
+		echo "sizing-smoke: committed BENCH_sizing.json is stale"; \
+		echo "regenerate with: go run ./cmd/qsize -out BENCH_sizing.json -check"; \
+		echo "then refresh the EXPERIMENTS.md tables: go run ./cmd/qsize -md BENCH_sizing.json"; \
+		exit 1; \
+	fi; \
+	echo "sizing-smoke: ok (sha256 $$c1)"
+
+# Documentation drift gate: the README scheme catalogue and CLI table,
+# the EXPERIMENTS.md oracle catalogue, and the EXPERIMENTS.md
+# buffer-sizing tables (pinned to BENCH_sizing.json) are tied to the
+# code by tests; this target runs exactly those.
 docs-check:
-	go test -run 'TestReadmeSchemeCatalogue|TestReadmeCLITable|TestExperimentsOracleCatalogue' .
+	go test -run 'TestReadmeSchemeCatalogue|TestReadmeCLITable|TestExperimentsOracleCatalogue|TestExperimentsSizingTable' .

@@ -18,6 +18,10 @@
 //     flows, event timelines, per-hop admission and verification
 //   - internal/validate  — property-based fuzzing: seeded scenario
 //     generation, invariant oracles, failure shrinking
+//   - internal/online    — competitive analysis: online policies vs the
+//     exact offline optimum
+//   - internal/sizing    — buffer-sizing sweeps: rule × scheme ×
+//     population grids (closed-loop TCP to 10⁶ flows) over one bottleneck
 //   - internal/experiment — Table 1/2 workloads and Figures 1–13 runners
 //   - internal/metrics   — allocation-conscious counters/gauges/histograms
 //   - internal/report    — assertions and figure/table rendering
@@ -43,7 +47,8 @@
 // Executables: cmd/qsim (regenerate every figure), cmd/qtrace
 // (per-packet event traces), cmd/qcheck (single-link invariant
 // checks), cmd/qnet (declarative multi-hop scenarios), cmd/qfuzz
-// (property-based invariant fuzzing), cmd/qosplan (closed-form
+// (property-based invariant fuzzing), cmd/qcomp (competitive-analysis
+// sweeps), cmd/qsize (buffer-sizing sweeps), cmd/qosplan (closed-form
 // analysis), cmd/qosd (the admission-control daemon), cmd/qload (its
 // load generator); the README's CLI table summarizes flags and use
 // cases.

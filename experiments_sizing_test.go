@@ -1,0 +1,64 @@
+package bufqos_test
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"bufqos/internal/sizing"
+)
+
+// TestExperimentsSizingTable pins the EXPERIMENTS.md buffer-sizing
+// tables to the committed BENCH_sizing.json: every tail-drop closed-loop
+// cell (the √n-regime table) and every scheme-ladder cell (n = 10 at
+// B = C·RTT) must appear as a row, rendered exactly as
+// sizing.SqrtRegimeRows/SchemeLadderRows render them — so regenerating
+// the benchmark without updating the documented numbers fails the
+// build, and vice versa.
+func TestExperimentsSizingTable(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_sizing.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sizing.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_sizing.json: %v", err)
+	}
+
+	doc, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		beginTag = "<!-- sizing-table:begin"
+		endTag   = "<!-- sizing-table:end -->"
+	)
+	s := string(doc)
+	begin := strings.Index(s, beginTag)
+	end := strings.Index(s, endTag)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("EXPERIMENTS.md lacks the sizing-table markers (%q ... %q)", beginTag, endTag)
+	}
+	table := s[begin:end]
+
+	rows := sizing.SqrtRegimeRows(&rep)
+	if len(rows) == 0 {
+		t.Fatal("BENCH_sizing.json has no closed-loop fifo+none cells")
+	}
+	for _, row := range rows {
+		if !strings.Contains(table, row) {
+			t.Errorf("EXPERIMENTS.md sizing table lacks the row %q", row)
+		}
+	}
+
+	ladder := sizing.SchemeLadderRows(&rep)
+	if len(ladder) == 0 {
+		t.Fatal("BENCH_sizing.json has no n=10 bdp scheme-ladder cells")
+	}
+	for _, row := range ladder {
+		if !strings.Contains(table, row) {
+			t.Errorf("EXPERIMENTS.md scheme-ladder table lacks the row %q", row)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package network
+
+import (
+	"testing"
+
+	"bufqos/internal/sim"
+)
+
+// TestSeqBitmapMatchesReferenceMap drives the reassembly bitmap and the
+// map[uint64]bool it replaced through the same randomized op sequence —
+// out-of-order arrivals within a bounded window, cumulative advances
+// that consume runs of buffered segments — and demands identical
+// answers, including for queries beyond the ring's capacity.
+func TestSeqBitmapMatchesReferenceMap(t *testing.T) {
+	rng := sim.NewRand(sim.DeriveSeed(2, 99))
+	var b seqBitmap
+	ref := map[uint64]bool{}
+	rcvNxt := uint64(0)
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(3) {
+		case 0: // out-of-order arrival somewhere ahead of rcvNxt
+			s := rcvNxt + 1 + uint64(rng.Intn(300))
+			if got, want := b.has(rcvNxt, s), ref[s]; got != want {
+				t.Fatalf("op %d: has(%d, %d) = %v, reference %v", op, rcvNxt, s, got, want)
+			}
+			b.set(rcvNxt, s)
+			ref[s] = true
+		case 1: // the expected segment arrives; consume the buffered run
+			rcvNxt++
+			if got, want := b.has(rcvNxt, rcvNxt), ref[rcvNxt]; got != want {
+				t.Fatalf("op %d: has(%d) = %v, reference %v", op, rcvNxt, got, want)
+			}
+			for ref[rcvNxt] {
+				if !b.has(rcvNxt, rcvNxt) {
+					t.Fatalf("op %d: bitmap lost buffered segment %d", op, rcvNxt)
+				}
+				b.clear(rcvNxt)
+				delete(ref, rcvNxt)
+				rcvNxt++
+			}
+		default: // probe far beyond the window: must be a clean miss
+			s := rcvNxt + b.nbits() + uint64(rng.Intn(1000))
+			if b.has(rcvNxt, s) {
+				t.Fatalf("op %d: has(%d, %d) = true beyond ring capacity %d", op, rcvNxt, s, b.nbits())
+			}
+		}
+	}
+	for s := range ref {
+		if !b.has(rcvNxt, s) {
+			t.Fatalf("final state: bitmap lost buffered segment %d", s)
+		}
+	}
+}
+
+// TestSeqBitmapSteadyStateAllocFree pins the refactor's point: once the
+// ring covers the reorder window, set/has/clear allocate nothing. The
+// old map allocated on every out-of-order insert.
+func TestSeqBitmapSteadyStateAllocFree(t *testing.T) {
+	var b seqBitmap
+	b.set(0, 255) // size the ring once
+	b.clear(255)
+	base := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.set(base, base+100)
+		if !b.has(base, base+100) {
+			t.Fatal("set bit not found")
+		}
+		b.clear(base + 100)
+		base++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state reassembly ops allocate %v times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkSeqBitmapReassembly measures the per-segment cost of the
+// reassembly bookkeeping for a small reorder window.
+func BenchmarkSeqBitmapReassembly(b *testing.B) {
+	var m seqBitmap
+	m.set(0, 63)
+	m.clear(63)
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		base := uint64(i)
+		m.set(base, base+17)
+		m.has(base, base+17)
+		m.clear(base + 17)
+	}
+}

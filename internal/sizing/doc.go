@@ -1,0 +1,22 @@
+// Package sizing sweeps buffer-sizing rules against flow count: n
+// closed-loop TCP flows (or an open-loop (σ,ρ) on-off population)
+// share one bottleneck whose buffer is set by a rule such as B = C·RTT
+// (the 1998 rule of thumb the paper's era assumed) or B = C·RTT/√n
+// (the many-flows correction of Spang–Arslan–McKeown, "Updating the
+// Theory of Buffer Sizing"), crossed with the scheme registry's buffer
+// managers and schedulers. Each (n, B-rule, scheme) cell reports
+// bottleneck utilization, loss, queueing-delay quantiles, and the Jain
+// fairness of per-flow goodput, so the sweep maps where the √n regime
+// holds and where the paper's Propositions 1/2 thresholds stop binding
+// (B falls below equation 9's requirement and the lossless guarantee is
+// vacuously off).
+//
+// Cells are independent simulations fanned over the experiment pool;
+// results land in pre-assigned slots, so a Report is bit-identical for
+// a given Config at any worker count. The flat per-flow state of the
+// underlying packages (index-based send records, reassembly bitmaps,
+// and collectors — no per-flow maps) keeps one cell's memory O(n) with
+// small constants, which is what makes the n = 10⁶ end of the default
+// grid runnable. cmd/qsize is the command-line front end; the committed
+// BENCH_sizing.json is a Sweep of DefaultGrid.
+package sizing

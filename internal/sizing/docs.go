@@ -1,0 +1,34 @@
+package sizing
+
+import "fmt"
+
+// SqrtRegimeRows renders the report's closed-loop tail-drop cells as
+// the markdown rows of the EXPERIMENTS.md √n-regime table, in report
+// order. The docs drift test pins EXPERIMENTS.md to exactly these
+// strings; regenerate them with `qsize -md BENCH_sizing.json`.
+func SqrtRegimeRows(rep *Report) []string {
+	var rows []string
+	for _, c := range rep.Cells {
+		if c.Open || c.Scheme != "fifo+none" {
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("| %d | %s | %s | %.0f | %.3f | %.4f | %.2f | %.3f |",
+			c.Flows, c.Rule, c.Buffer, c.BufferPkts, c.Utilization, c.Loss, c.P99DelayMs, c.Fairness))
+	}
+	return rows
+}
+
+// SchemeLadderRows renders the report's n = 10, B = C·RTT closed-loop
+// cells — one per scheme — as the markdown rows of the EXPERIMENTS.md
+// scheme-ladder table, in report order.
+func SchemeLadderRows(rep *Report) []string {
+	var rows []string
+	for _, c := range rep.Cells {
+		if c.Open || c.Flows != 10 || c.Rule != RuleBDP.Name {
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("| `%s` | %.3f | %.4f | %.2f | %.3f | %d |",
+			c.Scheme, c.Utilization, c.Loss, c.P99DelayMs, c.Fairness, c.Retransmits))
+	}
+	return rows
+}

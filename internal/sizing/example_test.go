@@ -1,0 +1,34 @@
+package sizing_test
+
+import (
+	"context"
+	"fmt"
+
+	"bufqos/internal/sizing"
+)
+
+// A sweep is a list of (n, buffer-rule, scheme) cells; Config{} runs
+// the committed benchmark's grid, and Cells selects any subset. Here
+// one cell puts 64 closed-loop TCP flows through a tail-drop bottleneck
+// buffered by the many-flows rule B = C·RTT/√n. Reports are
+// deterministic for a fixed seed at any worker count.
+func ExampleSweep() {
+	rep, err := sizing.Sweep(context.Background(), sizing.Config{
+		Duration: 4,
+		Cells: []sizing.CellSpec{
+			{Flows: 64, Rule: sizing.RuleSqrt, Scheme: "fifo+none"},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c := rep.Cells[0]
+	fmt.Printf("n=%d %s %s: B=%v (%.0f pkts)\n", c.Flows, c.Rule, c.Scheme, c.Buffer, c.BufferPkts)
+	fmt.Printf("utilized ≥ 90%%: %v\n", c.Utilization >= 0.90)
+	fmt.Printf("props 1/2 binding: %v\n", c.Bound)
+	// Output:
+	// n=64 bdp/sqrtn fifo+none: B=62.5KB (42 pkts)
+	// utilized ≥ 90%: true
+	// props 1/2 binding: false
+}

@@ -1,0 +1,198 @@
+package sizing
+
+import (
+	"context"
+	"fmt"
+
+	"bufqos/internal/core"
+	"bufqos/internal/experiment"
+	"bufqos/internal/network"
+	"bufqos/internal/packet"
+	"bufqos/internal/sched"
+	"bufqos/internal/scheme"
+	"bufqos/internal/sim"
+	"bufqos/internal/source"
+	"bufqos/internal/stats"
+	"bufqos/internal/units"
+)
+
+// tcpAckSize is the size of a pure acknowledgement (the closed-loop
+// engine's convention: 40 bytes, a TCP/IP header).
+const tcpAckSize units.Bytes = 40
+
+// Sweep runs every cell of cfg and returns the report. Cells are
+// independent simulations fanned over the experiment pool; each writes
+// its pre-assigned Report slot, so the result is bit-identical at any
+// Workers count. A cancelled ctx aborts unstarted cells and returns the
+// context error.
+func Sweep(ctx context.Context, cfg Config) (*Report, error) {
+	cells := cfg.cells()
+	rep := &Report{
+		LinkRateMbps: cfg.linkRate().Mbits(),
+		RTT:          cfg.rtt(),
+		SegmentSize:  cfg.segmentSize(),
+		Duration:     cfg.duration(),
+		Warmup:       cfg.warmup(),
+		Seed:         cfg.seed(),
+		Cells:        make([]Cell, len(cells)),
+	}
+	err := experiment.ForEachJob(ctx, cfg.Workers, len(cells), nil, nil, func(i int) error {
+		cell, err := runCell(&cfg, cells[i], sim.DeriveSeed(cfg.seed(), i))
+		if err != nil {
+			return fmt.Errorf("sizing: cell %d (n=%d %s %s): %w",
+				i, cells[i].Flows, cells[i].Rule.Name, cells[i].Scheme, err)
+		}
+		rep.Cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runCell simulates one (n, rule, scheme) bottleneck and measures it.
+func runCell(cfg *Config, spec CellSpec, seed int64) (Cell, error) {
+	if spec.Flows <= 0 {
+		return Cell{}, fmt.Errorf("non-positive flow count %d", spec.Flows)
+	}
+	n := spec.Flows
+	c := cfg.linkRate()
+	rtt := cfg.rtt()
+	segment := cfg.segmentSize()
+	warmup := cfg.warmup()
+	duration := cfg.duration()
+	buffer := spec.Rule.Resolve(c, rtt, n, segment)
+
+	// The declared contract of every flow: ρ an even 95% share of the
+	// link (so the population is schedulable and equation 9 is finite),
+	// σ two segments, peak capped well above ρ. Threshold-based managers
+	// partition the buffer from exactly these profiles.
+	rho := units.Rate(0.95 * c.BitsPerSecond() / float64(n))
+	peak := units.Rate(20 * rho.BitsPerSecond())
+	if peak > c {
+		peak = c
+	}
+	specs := make([]packet.FlowSpec, n)
+	for i := range specs {
+		specs[i] = packet.FlowSpec{PeakRate: peak, TokenRate: rho, BucketSize: 2 * segment}
+	}
+	required, err := core.RequiredBufferFIFO(specs, c)
+	if err != nil {
+		return Cell{}, err
+	}
+
+	sc, err := scheme.Parse(spec.Scheme)
+	if err != nil {
+		return Cell{}, err
+	}
+	s := sim.New()
+	mgr, scheduler, err := sc.Build(scheme.Config{
+		Specs:      specs,
+		LinkRate:   c,
+		Buffer:     buffer,
+		PacketSize: segment,
+		Now:        s.Now,
+		Seed:       seed,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+
+	col := stats.NewCollector(n, warmup)
+	link := sched.NewLink(s, c, scheduler, mgr, col)
+	delivery := network.NewDeliveryLight(s, n)
+	qdelay := stats.NewDelayTracker(0)
+
+	// Per-flow propagation: half the flow's RTT after the bottleneck,
+	// the other half on the ACK path. RTTs are spread uniformly over
+	// [0.5, 1.5]·RTT (mean RTT, the value the rules size against) — with
+	// one shared RTT the closed-loop population phase-locks and drop-tail
+	// starves late starters outright, a synchronization artifact the
+	// buffer-sizing literature removes the same way.
+	rng := sim.NewRand(seed)
+	props := make([]float64, n)
+	for i := range props {
+		props[i] = (rtt / 2) * (0.5 + rng.Float64())
+	}
+	link.OnDepart = func(p *packet.Packet) {
+		if now := s.Now(); now >= warmup {
+			qdelay.Add(now - p.Arrived)
+		}
+		s.After(props[p.Flow], func() {
+			p.Arrived = s.Now()
+			delivery.Receive(p)
+		})
+	}
+	var tcps []*source.TCP
+	if spec.Open {
+		// Open-loop population: on-off sources matching the declared
+		// (σ,ρ,peak) profiles in the paper's parameterization.
+		for i := 0; i < n; i++ {
+			srcRng := sim.NewRand(sim.DeriveSeed(seed, i))
+			source.NewOnOff(s, srcRng, source.OnOffConfig{
+				Flow:       i,
+				PacketSize: segment,
+				PeakRate:   peak,
+				AvgRate:    rho,
+				MeanBurst:  2 * segment,
+			}, link).Start()
+		}
+	} else {
+		// Closed-loop population: NewReno senders paced at link speed,
+		// ACKed from the far end across the reverse propagation delay.
+		// Starts are staggered over two RTTs — enough jitter to split
+		// the slow-start bursts across event times, short enough that
+		// every flow joins the opening contention (a long stagger lets
+		// the first starter pin the queue full and lock everyone out).
+		tcps = make([]*source.TCP, n)
+		link.OnDrop = func(p *packet.Packet) { tcps[p.Flow].OnDrop(p) }
+		spread := 2 * rtt
+		for i := 0; i < n; i++ {
+			tcps[i] = source.NewTCP(s, source.TCPConfig{
+				Flow:        i,
+				SegmentSize: segment,
+				PaceRate:    c,
+			}, link)
+			delivery.SetAcker(i, tcpAckSize, func(ap *packet.Packet) {
+				s.After(props[ap.Flow], func() { tcps[ap.Flow].OnAck(ap) })
+			})
+			s.At(rng.Float64()*spread, tcps[i].Start)
+		}
+	}
+
+	s.RunUntil(duration)
+
+	cell := Cell{
+		Flows:          n,
+		Rule:           spec.Rule.Name,
+		Scheme:         sc.Spec(),
+		Open:           spec.Open,
+		Buffer:         buffer,
+		BufferPkts:     float64(buffer) / float64(segment),
+		RequiredBuffer: required,
+		Bound:          buffer >= required,
+		Utilization:    col.AggregateThroughput(duration).BitsPerSecond() / c.BitsPerSecond(),
+		Loss:           col.LossRatio(),
+		MeanDelayMs:    1e3 * qdelay.Mean(),
+		MaxDelayMs:     1e3 * qdelay.Max(),
+		Events:         s.Steps(),
+	}
+	if qdelay.Count() > 0 { // Quantile is NaN on an empty tracker
+		cell.P99DelayMs = 1e3 * qdelay.Quantile(0.99)
+	}
+	goodput := make([]float64, n)
+	if spec.Open {
+		for i := 0; i < n; i++ {
+			goodput[i] = float64(col.Flow(i).Departed.Total().Bytes)
+		}
+	} else {
+		for i, t := range tcps {
+			goodput[i] = float64(delivery.Goodput(i).Bytes)
+			cell.Retransmits += t.Retransmits()
+			cell.Timeouts += t.Timeouts()
+		}
+	}
+	cell.Fairness = jain(goodput)
+	return cell, nil
+}

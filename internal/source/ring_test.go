@@ -1,0 +1,99 @@
+package source
+
+import (
+	"testing"
+
+	"bufqos/internal/sim"
+)
+
+// TestSendRingMatchesReferenceMaps drives the ring and the map-based
+// send records it replaced through the same randomized op sequence and
+// demands identical answers. Ops mimic the TCP source's usage:
+// record(nxt), record(una) for a retransmit + markRetx, sample over
+// [una, ack), advance(ack).
+func TestSendRingMatchesReferenceMaps(t *testing.T) {
+	rng := sim.NewRand(sim.DeriveSeed(1, 99))
+	var r sendRing
+	sendTime := map[uint64]float64{}
+	retx := map[uint64]bool{}
+	una, nxt := uint64(0), uint64(0)
+	now := 0.0
+	for op := 0; op < 20000; op++ {
+		now += rng.Float64()
+		switch k := rng.Intn(4); {
+		case k == 0 || una == nxt: // emit new data
+			r.record(nxt, now)
+			sendTime[nxt] = now
+			delete(retx, nxt)
+			nxt++
+		case k == 1: // retransmit the first hole
+			r.record(una, now)
+			sendTime[una] = now
+			delete(retx, una)
+			r.markRetx(una)
+			retx[una] = true
+		default: // cumulative ACK of 1..8 segments
+			ack := una + 1 + uint64(rng.Intn(8))
+			if ack > nxt {
+				ack = nxt
+			}
+			for s := una; s < ack; s++ {
+				ts, ok := r.sample(s)
+				wts, wok := sendTime[s]
+				if valid := wok && !retx[s]; ok != valid || (ok && ts != wts) {
+					t.Fatalf("op %d: sample(%d) = (%v, %v), reference (%v, %v)", op, s, ts, ok, wts, wok && !retx[s])
+				}
+				delete(sendTime, s)
+				delete(retx, s)
+			}
+			r.advance(ack)
+			una = ack
+		}
+	}
+	if len(sendTime) != int(nxt-una) {
+		t.Fatalf("reference invariant broken: %d records for window %d", len(sendTime), nxt-una)
+	}
+}
+
+// TestSendRingSteadyStateAllocFree pins the refactor's point: once the
+// ring has grown to the window size, the per-ACK record/sample/advance
+// cycle performs zero allocations. The old map-based records allocated
+// on every insert.
+func TestSendRingSteadyStateAllocFree(t *testing.T) {
+	var r sendRing
+	for s := uint64(0); s < 64; s++ {
+		r.record(s, float64(s))
+	}
+	s := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Slide a 64-segment window forward: ack one, emit one.
+		if _, ok := r.sample(s); !ok {
+			t.Fatal("live record reported invalid")
+		}
+		r.advance(s + 1)
+		r.record(s+64, float64(s))
+		s++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state window slide allocates %v times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkSendRingWindowSlide measures the per-ACK cost of the send
+// records at a typical small window (the "no slower at small n" half of
+// the flow-state refactor's contract; see internal/sizing for the
+// full-path benchmark).
+func BenchmarkSendRingWindowSlide(b *testing.B) {
+	var r sendRing
+	const w = 16
+	for s := uint64(0); s < w; s++ {
+		r.record(s, float64(s))
+	}
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		s := uint64(i)
+		r.sample(s)
+		r.advance(s + 1)
+		r.record(s+w, float64(s))
+	}
+}

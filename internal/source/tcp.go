@@ -73,13 +73,13 @@ type TCP struct {
 	srtt, rttvar, rto float64
 	rtoEv             sim.Event
 
-	// sendTime records each outstanding segment's emission time for RTT
-	// sampling; retx marks segments that were retransmitted (Karn's
-	// algorithm: never sample those). Both maps are only ever read and
-	// deleted by exact key, so they introduce no iteration-order
-	// nondeterminism.
-	sendTime map[uint64]float64
-	retx     map[uint64]bool
+	// sent records each outstanding segment's emission time for RTT
+	// sampling and whether it was retransmitted (Karn's algorithm: never
+	// sample those). It used to be a pair of maps keyed by sequence
+	// number; the flat ring makes the per-ACK bookkeeping loop
+	// allocation-free and index-based, which is what lets 10⁶ concurrent
+	// sources fit in memory and stay fast (see internal/sizing).
+	sent sendRing
 
 	pumping bool
 	stopped bool
@@ -103,9 +103,76 @@ func NewTCP(s *sim.Simulator, cfg TCPConfig, sink Sink) *TCP {
 		ssthresh: 1 << 30, // effectively unbounded until the first loss
 		srtt:     -1,
 		rto:      tcpInitialRTO,
-		sendTime: map[uint64]float64{},
-		retx:     map[uint64]bool{},
 	}
+}
+
+// sendRing is the per-segment send record of one TCP source: emission
+// times and retransmission marks for every sequence number in
+// [lo, hi), stored in a power-of-two ring indexed by the sequence
+// number itself. lo tracks the cumulative acknowledgement point (una)
+// and hi the highest emission, so the ring holds exactly the
+// outstanding window — it replaces two maps whose per-ACK
+// insert/lookup/delete churn dominated the feedback hot path. The
+// ring grows by doubling when the window outruns it; records are never
+// cleared individually, validity is the [lo, hi) span.
+type sendRing struct {
+	time []float64
+	retx []bool
+	lo   uint64 // lowest live sequence (the cumulative ACK point)
+	hi   uint64 // one past the highest sequence ever emitted
+}
+
+// record stores segment s's emission time, clearing any stale
+// retransmission mark left by a previous occupant of the slot.
+func (r *sendRing) record(s uint64, now float64) {
+	if s >= r.hi {
+		r.hi = s + 1
+	}
+	if need := r.hi - r.lo; need > uint64(len(r.time)) {
+		r.grow(need)
+	}
+	i := s & uint64(len(r.time)-1)
+	r.time[i] = now
+	r.retx[i] = false
+}
+
+// markRetx flags segment s as retransmitted; s must have been recorded.
+func (r *sendRing) markRetx(s uint64) { r.retx[s&uint64(len(r.retx)-1)] = true }
+
+// sample returns segment s's emission time and whether it is a valid
+// RTT sample (recorded, transmitted exactly once).
+func (r *sendRing) sample(s uint64) (float64, bool) {
+	if s < r.lo || s >= r.hi {
+		return 0, false
+	}
+	i := s & uint64(len(r.time)-1)
+	return r.time[i], !r.retx[i]
+}
+
+// advance moves the live span's lower edge to ack (the new una),
+// retiring every record below it.
+func (r *sendRing) advance(ack uint64) {
+	r.lo = ack
+	if r.hi < r.lo {
+		r.hi = r.lo
+	}
+}
+
+// grow doubles the ring until it covers need slots, re-homing the live
+// span's records under the new mask.
+func (r *sendRing) grow(need uint64) {
+	size := uint64(16)
+	for size < need {
+		size *= 2
+	}
+	nt := make([]float64, size)
+	nr := make([]bool, size)
+	oldMask := uint64(len(r.time) - 1)
+	for s := r.lo; s < r.hi-1; s++ { // hi-1 is being recorded by the caller
+		nt[s&(size-1)] = r.time[s&oldMask]
+		nr[s&(size-1)] = r.retx[s&oldMask]
+	}
+	r.time, r.retx = nt, nr
 }
 
 // Start begins the transfer (the source is greedy: it always has data).
@@ -168,12 +235,11 @@ func (t *TCP) newAck(ack uint64) {
 	// acknowledged segment that was transmitted exactly once (Karn).
 	sample := -1.0
 	for s := t.una; s < ack; s++ {
-		if ts, ok := t.sendTime[s]; ok && !t.retx[s] {
+		if ts, ok := t.sent.sample(s); ok {
 			sample = t.sim.Now() - ts
 		}
-		delete(t.sendTime, s)
-		delete(t.retx, s)
 	}
+	t.sent.advance(ack)
 	if sample >= 0 {
 		t.updateRTO(sample)
 	}
@@ -296,7 +362,7 @@ func (t *TCP) armTimer() {
 // emit sends segment s into the sink.
 func (t *TCP) emit(s uint64) {
 	now := t.sim.Now()
-	t.sendTime[s] = now
+	t.sent.record(s, now)
 	t.sink.Receive(&packet.Packet{
 		Flow:    t.cfg.Flow,
 		Size:    t.cfg.SegmentSize,
@@ -309,9 +375,9 @@ func (t *TCP) emit(s uint64) {
 // retransmit re-emits segment s immediately (retransmissions are not
 // paced: they replace a segment the network already accounted for).
 func (t *TCP) retransmit(s uint64) {
-	t.retx[s] = true
 	t.retransmits++
 	t.emit(s)
+	t.sent.markRetx(s)
 }
 
 // pump starts the paced emission loop when the window allows sending.

@@ -52,6 +52,6 @@ func ExampleFuzz() {
 	//   kind differential          1 cases
 	//   kind single-link           2 cases
 	//   kind tandem                1 cases
-	//   assertions checked: 129
+	//   assertions checked: 133
 	//   all oracles passed
 }

@@ -117,6 +117,13 @@ func Oracles() []Oracle {
 			NoShrink: true,
 			Check:    checkCompetitiveRatio,
 		},
+		{
+			Name:     "sizing-sqrt-n",
+			Citation: "Spang–Arslan–McKeown, \"Updating the Theory of Buffer Sizing\" (PAPERS.md)",
+			Doc:      "a drop-tail bottleneck buffered at C·RTT/√n stays ≥90% utilized under n ≥ 64 case-seeded TCP flows",
+			NoShrink: true,
+			Check:    checkSizingSqrtN,
+		},
 	}
 }
 

@@ -1,0 +1,53 @@
+package validate
+
+import (
+	"context"
+	"fmt"
+
+	"bufqos/internal/report"
+	"bufqos/internal/sim"
+	"bufqos/internal/sizing"
+)
+
+// sizingSeedID derives the sizing oracle's RNG stream from a case seed
+// (an arbitrary constant distinct from the other oracle stream IDs).
+const sizingSeedID = 8800
+
+// sizingUtilFloor is the headline claim of the many-flows buffer-sizing
+// result: at B = C·RTT/√n a drop-tail bottleneck shared by n ≥ 64 TCP
+// flows stays at least 90% utilized.
+const sizingUtilFloor = 0.90
+
+// checkSizingSqrtN is the sizing-sqrt-n qfuzz oracle: each case runs
+// one fresh buffer-sizing cell — a case-seeded population of n ∈ {64,
+// 128, 256} closed-loop TCP flows through a tail-drop bottleneck whose
+// buffer follows the many-flows rule B = C·RTT/√n — and asserts the
+// bottleneck ends at least 90% utilized. The cell is an abstract
+// single-link instance unrelated to the case's topology scenario, so
+// the oracle is NoShrink, like competitive-ratio.
+func checkSizingSqrtN(ctx context.Context, c *Case) []report.Assertion {
+	seed := sim.DeriveSeed(c.Scenario.Seed, sizingSeedID)
+	rng := sim.NewRand(seed)
+	n := 64 << rng.Intn(3)
+	cfg := sizing.Config{
+		Seed:     seed,
+		Duration: 4,
+		Workers:  1,
+		Cells:    []sizing.CellSpec{{Flows: n, Rule: sizing.RuleSqrt, Scheme: "fifo+none"}},
+	}
+	rep, err := sizing.Sweep(ctx, cfg)
+	detail := fmt.Sprintf("n=%d TCP flows, B = C·RTT/√n", n)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return []report.Assertion{{Name: "sizing-sqrt-n", Detail: detail, Err: err}}
+	}
+	cell := rep.Cells[0]
+	detail = fmt.Sprintf("%s = %v (%.0f pkts): utilization %.4f", detail, cell.Buffer, cell.BufferPkts, cell.Utilization)
+	if cell.Utilization < sizingUtilFloor {
+		err = fmt.Errorf("utilization %.4f below the %.2f many-flows floor (loss %.4f, %d timeouts)",
+			cell.Utilization, sizingUtilFloor, cell.Loss, cell.Timeouts)
+	}
+	return []report.Assertion{{Name: "sizing-sqrt-n", Detail: detail, Err: err}}
+}
